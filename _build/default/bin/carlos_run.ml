@@ -1,0 +1,173 @@
+(* carlos_run: command-line driver for the CarlOS simulator.
+
+   Run any of the paper's applications in any variant on a configurable
+   cluster and print the paper-style report row plus the per-node
+   execution breakdown. *)
+
+module System = Carlos.System
+module Cost = Carlos_dsm.Cost
+module Tsp = Carlos_apps.Tsp
+module Qsort = Carlos_apps.Qsort
+module Water = Carlos_apps.Water
+module Harness = Carlos_apps.Harness
+
+open Cmdliner
+
+let nodes_arg =
+  let doc = "Number of workstations in the simulated cluster." in
+  Arg.(value & opt int 4 & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+
+let variant_arg =
+  let doc =
+    "Application variant: lock, hybrid, hybrid-1, hybrid-2, \
+     hybrid-noforward, hybrid-all-release."
+  in
+  Arg.(value & opt string "hybrid" & info [ "variant" ] ~docv:"VARIANT" ~doc)
+
+let costs_arg =
+  let doc = "Cost table: default, treadmarks, fast-network." in
+  Arg.(value & opt string "default" & info [ "costs" ] ~docv:"COSTS" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic seed for the run." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let breakdown_arg =
+  let doc = "Also print the per-node execution breakdown (Figure 2 style)." in
+  Arg.(value & flag & info [ "breakdown" ] ~doc)
+
+let trace_arg =
+  let doc = "Print the last message-level trace events of the run." in
+  Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N" ~doc)
+
+let costs_of_string = function
+  | "default" -> Ok Cost.default
+  | "treadmarks" -> Ok Cost.treadmarks
+  | "fast-network" -> Ok Cost.fast_network
+  | s -> Error (Printf.sprintf "unknown cost table %S" s)
+
+let finish ~breakdown ~trace ~sys ~label ~ok report =
+  Harness.pp_header Format.std_formatter ();
+  Harness.pp_row Format.std_formatter
+    (Harness.row ~label ~nodes:(Array.length report.System.per_node)
+       ~base:report.System.wall ~ok report);
+  if breakdown then
+    Harness.pp_breakdown Format.std_formatter [ (label, report) ];
+  if trace > 0 then begin
+    let events = Carlos_sim.Trace.events (System.trace sys) in
+    let skip = max 0 (List.length events - trace) in
+    List.iteri
+      (fun i e ->
+        if i >= skip then
+          Format.printf "%a@." Carlos_sim.Trace.pp_event e)
+      events
+  end;
+  if ok then `Ok () else `Error (false, "application-level check failed")
+
+let run_tsp nodes variant costs seed breakdown trace =
+  match
+    ( costs_of_string costs,
+      match variant with
+      | "lock" -> Ok Tsp.Lock
+      | "hybrid" | "hybrid-1" -> Ok Tsp.Hybrid
+      | "hybrid-all-release" -> Ok Tsp.Hybrid_all_release
+      | v -> Error (Printf.sprintf "TSP has no variant %S" v) )
+  with
+  | Error e, _ | _, Error e -> `Error (false, e)
+  | Ok costs, Ok variant ->
+    let cfg = { (System.default_config ~nodes) with System.costs; seed } in
+    let sys = System.create cfg in
+    if trace > 0 then System.set_tracing sys true;
+    let p = Tsp.default_params in
+    let r = Tsp.run sys variant p in
+    Format.printf "TSP: best tour %d (reference %d), %d nodes visited@."
+      r.Tsp.best (Tsp.solve_reference p) r.Tsp.visited;
+    finish ~breakdown ~trace ~sys
+      ~label:("TSP/" ^ Tsp.variant_name variant)
+      ~ok:(r.Tsp.best = Tsp.solve_reference p)
+      r.Tsp.report
+
+let run_qsort nodes variant costs seed breakdown trace =
+  match
+    ( costs_of_string costs,
+      match variant with
+      | "lock" -> Ok Qsort.Lock
+      | "hybrid" | "hybrid-1" -> Ok Qsort.Hybrid1
+      | "hybrid-2" -> Ok Qsort.Hybrid2
+      | "hybrid-noforward" -> Ok Qsort.Hybrid_nf
+      | v -> Error (Printf.sprintf "Quicksort has no variant %S" v) )
+  with
+  | Error e, _ | _, Error e -> `Error (false, e)
+  | Ok costs, Ok variant ->
+    let p = Qsort.default_params in
+    let cfg = { (Qsort.config ~nodes p) with System.costs; seed } in
+    let sys = System.create cfg in
+    if trace > 0 then System.set_tracing sys true;
+    let r = Qsort.run sys variant p in
+    Format.printf "Quicksort: %d elements, %d leaves, sorted=%b@."
+      p.Qsort.elements r.Qsort.leaves r.Qsort.sorted;
+    finish ~breakdown ~trace ~sys
+      ~label:("QS/" ^ Qsort.variant_name variant)
+      ~ok:r.Qsort.sorted r.Qsort.report
+
+let run_water nodes variant costs seed breakdown trace =
+  match
+    ( costs_of_string costs,
+      match variant with
+      | "lock" -> Ok Water.Lock
+      | "hybrid" -> Ok Water.Hybrid
+      | "hybrid-all-release" -> Ok Water.Hybrid_all_release
+      | v -> Error (Printf.sprintf "Water has no variant %S" v) )
+  with
+  | Error e, _ | _, Error e -> `Error (false, e)
+  | Ok costs, Ok variant ->
+    let cfg = { (System.default_config ~nodes) with System.costs; seed } in
+    let sys = System.create cfg in
+    if trace > 0 then System.set_tracing sys true;
+    let p = Water.default_params in
+    let r = Water.run sys variant p in
+    Format.printf "Water: %d molecules, %d steps, energy %.6f (ok=%b)@."
+      p.Water.molecules p.Water.steps r.Water.energy r.Water.energy_ok;
+    finish ~breakdown ~trace ~sys
+      ~label:("Water/" ^ Water.variant_name variant)
+      ~ok:r.Water.energy_ok r.Water.report
+
+let costs_cmd =
+  let run () =
+    Format.printf "default (DEC 3000/300 + OSF/1 + 10 Mbit/s Ethernet):@.%a@.@."
+      Cost.pp Cost.default;
+    Format.printf "treadmarks (leaner built-in sync path):@.%a@.@." Cost.pp
+      Cost.treadmarks;
+    Format.printf "fast-network (modern low-latency interconnect):@.%a@."
+      Cost.pp Cost.fast_network;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "costs" ~doc:"Print the available virtual-time cost tables.")
+    Term.(ret (const run $ const ()))
+
+let app_cmd name doc run =
+  Cmd.v
+    (Cmd.info name ~doc)
+    Term.(
+      ret
+        (const run $ nodes_arg $ variant_arg $ costs_arg $ seed_arg
+        $ breakdown_arg $ trace_arg))
+
+let () =
+  let doc =
+    "CarlOS: message-driven relaxed consistency in a simulated software DSM"
+  in
+  let info = Cmd.info "carlos_run" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            app_cmd "tsp" "Run the TSP application (paper §5.1)." run_tsp;
+            app_cmd "qsort" "Run the Quicksort application (paper §5.2)."
+              run_qsort;
+            app_cmd "water" "Run the Water application (paper §5.3)."
+              run_water;
+            costs_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/causality.ml: Carlos Carlos_dsm Carlos_vm Format

@@ -1,0 +1,1 @@
+examples/pipeline.ml: Carlos Carlos_dsm Carlos_vm Format

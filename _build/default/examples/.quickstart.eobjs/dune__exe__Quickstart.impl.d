@@ -1,0 +1,1 @@
+examples/quickstart.ml: Carlos Carlos_vm Format

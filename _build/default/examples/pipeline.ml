@@ -1,0 +1,60 @@
+(* A producer/consumer pipeline over the centralized work queue,
+   demonstrating the forwarding mechanism of paper §2.2: enqueue messages
+   are RELEASEs that the manager only STORES and later FORWARDS, so the
+   consumer becomes memory-consistent with the producer of each item while
+   the manager never joins the causal chain.
+
+     dune exec examples/pipeline.exe *)
+
+module System = Carlos.System
+module Node = Carlos.Node
+module Work_queue = Carlos.Work_queue
+module Shm = Carlos_vm.Shm
+module Lrc = Carlos_dsm.Lrc
+module Vc = Carlos_dsm.Vc
+
+let items = 16
+
+let () =
+  (* Node 0 manages the queue, nodes 1-2 produce, node 3 consumes. *)
+  let sys = System.create (System.default_config ~nodes:4) in
+  let queue = Work_queue.create sys ~manager:0 ~name:"pipe" () in
+  let payloads = System.alloc sys (8 * items * 2) in
+  let produced = ref 0 in
+  let (_ : System.report) =
+    System.run sys (fun node ->
+        let shm = Node.shm node in
+        match Node.id node with
+        | 1 | 2 ->
+          for i = 0 to (items / 2) - 1 do
+            (* Write a payload into coherent memory, then enqueue a
+               reference to it.  The enqueue RELEASE carries the
+               consistency information the eventual consumer needs. *)
+            let slot = (((Node.id node - 1) * items) + (i * 2)) * 8 in
+            let addr = payloads + slot in
+            Shm.write_i64 shm addr ((Node.id node * 1000) + i);
+            Node.compute node 0.002;
+            Work_queue.enqueue queue node ~bytes:8 addr;
+            incr produced;
+            if !produced = items then Work_queue.close queue node
+          done
+        | 3 ->
+          let rec consume total =
+            match Work_queue.dequeue queue node with
+            | None -> Format.printf "consumer: sum of payloads = %d@." total
+            | Some addr -> consume (total + Shm.read_i64 shm addr)
+          in
+          consume 0
+        | _ -> ())
+  in
+  (* The manager forwarded every item without accepting: it saw no
+     interval from either producer. *)
+  let manager_vc = Lrc.vc (Node.lrc (System.node sys 0)) in
+  Format.printf
+    "manager's knowledge of producers (intervals from node 1, node 2): %d, \
+     %d  -- it stayed out of the causal chain@."
+    (Vc.get manager_vc 1) (Vc.get manager_vc 2);
+  let consumer_vc = Lrc.vc (Node.lrc (System.node sys 3)) in
+  Format.printf
+    "consumer's knowledge of producers: %d, %d  -- consistent with both@."
+    (Vc.get consumer_vc 1) (Vc.get consumer_vc 2)

@@ -1,0 +1,1 @@
+lib/apps/grid.ml: Array Carlos Carlos_dsm Carlos_sim Carlos_vm List

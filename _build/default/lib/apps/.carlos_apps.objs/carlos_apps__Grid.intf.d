@@ -1,0 +1,1 @@
+lib/apps/grid.mli: Carlos Carlos_dsm

@@ -1,0 +1,1 @@
+lib/apps/harness.ml: Array Carlos Format List

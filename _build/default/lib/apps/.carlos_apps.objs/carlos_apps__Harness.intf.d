@@ -1,0 +1,1 @@
+lib/apps/harness.mli: Carlos Format

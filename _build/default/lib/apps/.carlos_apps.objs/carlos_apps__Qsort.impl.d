@@ -1,0 +1,1 @@
+lib/apps/qsort.ml: Array Carlos Carlos_sim Carlos_vm

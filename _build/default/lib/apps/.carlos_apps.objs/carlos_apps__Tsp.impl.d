@@ -1,0 +1,1 @@
+lib/apps/tsp.ml: Array Carlos Carlos_sim Carlos_vm Fun List

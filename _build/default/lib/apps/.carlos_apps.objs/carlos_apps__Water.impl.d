@@ -1,0 +1,1 @@
+lib/apps/water.ml: Array Carlos Carlos_sim Carlos_vm Float Printf

@@ -1,0 +1,53 @@
+(** Iterative grid relaxation (Jacobi), the paper's §3 motif: "Many
+    numerical applications have communication patterns amenable to
+    message-passing.  Prominent examples include hydrodynamics and
+    engineering codes that iteratively solve partial differential
+    equations using finite difference ... techniques."
+
+    A square grid is row-partitioned across the nodes; every iteration
+    each node recomputes its rows from the previous generation and needs
+    its neighbours' boundary rows.
+
+    Variants:
+    - [Barrier]: pure shared memory.  A global barrier separates
+      generations; boundary rows move through demand faults and diffs.
+    - [Hybrid]: the §3 pattern — data stays in coherent shared memory,
+      and after writing its boundary rows each node sends each neighbour
+      a notification message marked RELEASE; neighbours wait for their
+      two notifications instead of a global barrier.  "If the underlying
+      memory coherence mechanism uses update rather than invalidation,
+      the actual data transmission occurs eagerly and asynchronously when
+      the notification message is sent" — run it under
+      [Carlos_dsm.Lrc.Update] to see exactly that. *)
+
+type variant = Barrier | Hybrid
+
+val variant_name : variant -> string
+
+type params = {
+  size : int; (* grid side; size*size doubles *)
+  iterations : int;
+  seed : int;
+  cell_cost : float; (* virtual seconds per stencil evaluation *)
+}
+
+val default_params : params
+
+type result = {
+  checksum : float; (* sum of the final grid *)
+  exact : bool; (* bit-exact equality with the sequential reference *)
+  report : Carlos.System.report;
+}
+
+(** Sequential reference checksum (Jacobi is double-buffered, so the
+    parallel schedule is bit-reproducible). *)
+val reference : params -> float
+
+val run : Carlos.System.t -> variant -> params -> result
+
+(** A system configuration with a coherent region sized for the grid. *)
+val config :
+  ?nodes:int ->
+  ?strategy:Carlos_dsm.Lrc.strategy ->
+  params ->
+  Carlos.System.config

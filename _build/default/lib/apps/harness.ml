@@ -1,0 +1,54 @@
+module System = Carlos.System
+
+type row = {
+  label : string;
+  nodes : int;
+  time : float;
+  speedup : float;
+  messages : int;
+  avg_bytes : float;
+  utilization : float;
+  gc_runs : int;
+  ok : bool;
+}
+
+let row ~label ~nodes ~base ~ok (report : System.report) =
+  {
+    label;
+    nodes;
+    time = report.System.wall;
+    speedup = (if report.System.wall > 0.0 then base /. report.System.wall else 0.0);
+    messages = report.System.messages;
+    avg_bytes = report.System.avg_message_bytes;
+    utilization = report.System.net_utilization;
+    gc_runs = report.System.gc_runs;
+    ok;
+  }
+
+let pp_header ppf () =
+  Format.fprintf ppf "%-22s %2s | %8s %8s | %8s %6s | %5s %3s %s@."
+    "Version" "N" "Time(s)" "Speedup" "Msgs" "Size" "Util" "GC" "ok"
+
+let pp_row ppf r =
+  Format.fprintf ppf "%-22s %2d | %8.1f %8.2f | %8d %6.0f | %4.0f%% %3d %s@."
+    r.label r.nodes r.time r.speedup r.messages r.avg_bytes
+    (100.0 *. r.utilization) r.gc_runs
+    (if r.ok then "ok" else "FAIL")
+
+let pp_breakdown ppf runs =
+  Format.fprintf ppf "%-22s | %8s %8s %8s %8s | %8s@." "Version" "User"
+    "Unix" "CarlOS" "Idle" "Total";
+  List.iter
+    (fun (label, (report : System.report)) ->
+      let n = float_of_int (Array.length report.System.per_node) in
+      let avg f =
+        Array.fold_left (fun acc r -> acc +. f r) 0.0 report.System.per_node
+        /. n
+      in
+      Format.fprintf ppf "%-22s | %8.2f %8.2f %8.2f %8.2f | %8.2f@." label
+        (avg (fun r -> r.System.user))
+        (avg (fun r -> r.System.unix))
+        (avg (fun r -> r.System.carlos))
+        (avg (fun r -> r.System.idle))
+        report.System.wall)
+    runs

@@ -1,0 +1,35 @@
+(** Table-row plumbing shared by the benchmark drivers: runs application
+    variants across node counts and renders rows in the format of the
+    paper's Tables 1-3 (time, speedup, message count, average message
+    size, network utilization). *)
+
+type row = {
+  label : string;
+  nodes : int;
+  time : float;
+  speedup : float;
+  messages : int;
+  avg_bytes : float;
+  utilization : float;
+  gc_runs : int;
+  ok : bool; (* application-level correctness check *)
+}
+
+(** [row ~label ~nodes ~base ~ok report] — [base] is the matching one-node
+    time used for the speedup column. *)
+val row :
+  label:string ->
+  nodes:int ->
+  base:float ->
+  ok:bool ->
+  Carlos.System.report ->
+  row
+
+val pp_header : Format.formatter -> unit -> unit
+
+val pp_row : Format.formatter -> row -> unit
+
+(** Render the paper's Figure 2: per-node average execution breakdown
+    (User / Unix / CarlOS / Idle) for a set of labelled runs. *)
+val pp_breakdown :
+  Format.formatter -> (string * Carlos.System.report) list -> unit

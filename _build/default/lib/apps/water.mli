@@ -1,0 +1,43 @@
+(** The Water application (paper §5.3): a molecular-dynamics simulation in
+    the style of the SPLASH benchmark, simplified to a pairwise
+    cutoff-force model with the same communication pattern.
+
+    Each iteration has phases separated by barriers: position integration,
+    pairwise force computation (each processor handles the interactions of
+    its N/P molecules with half of the others, accumulating privately and
+    then applying one update per molecule), and velocity integration.
+
+    Variants (paper Table 3):
+    - [Lock]: each molecule's accumulated force is updated under that
+      molecule's lock (lock-update-unlock).
+    - [Hybrid]: the update is shipped to the molecule's owner in a [NONE]
+      message that invokes the update function there; the sequential
+      delivery of CarlOS messages makes the updates atomic without any
+      locks. *)
+
+type variant = Lock | Hybrid | Hybrid_all_release
+
+val variant_name : variant -> string
+
+type params = {
+  molecules : int; (* 343 in the paper *)
+  steps : int; (* 5 in the paper *)
+  seed : int;
+  cutoff : float; (* interaction cutoff distance *)
+  pair_check_cost : float; (* per examined pair *)
+  pair_force_cost : float; (* per within-cutoff interaction *)
+  integrate_cost : float; (* per molecule per integration phase *)
+}
+
+val default_params : params
+
+type result = {
+  energy : float; (* system invariant checked against the reference *)
+  energy_ok : bool; (* within tolerance of the sequential reference *)
+  report : Carlos.System.report;
+}
+
+(** Sequential reference energy after [steps] iterations. *)
+val reference_energy : params -> float
+
+val run : Carlos.System.t -> variant -> params -> result

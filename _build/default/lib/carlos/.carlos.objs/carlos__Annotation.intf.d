@@ -1,0 +1,1 @@
+lib/carlos/annotation.mli: Format

@@ -1,0 +1,1 @@
+lib/carlos/breakdown.mli: Format

@@ -1,0 +1,1 @@
+lib/carlos/msg_barrier.ml: Annotation Carlos_sim List Node System

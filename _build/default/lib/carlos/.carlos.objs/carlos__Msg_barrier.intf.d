@@ -1,0 +1,1 @@
+lib/carlos/msg_barrier.mli: Node System

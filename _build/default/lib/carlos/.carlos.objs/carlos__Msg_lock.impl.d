@@ -1,0 +1,1 @@
+lib/carlos/msg_lock.ml: Annotation Array Carlos_sim Node Printf System

@@ -1,0 +1,1 @@
+lib/carlos/msg_lock.mli: Node System

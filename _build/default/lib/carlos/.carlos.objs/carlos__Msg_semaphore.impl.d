@@ -1,0 +1,1 @@
+lib/carlos/msg_semaphore.ml: Annotation Array Carlos_sim Msg_lock Node Queue System

@@ -1,0 +1,1 @@
+lib/carlos/msg_semaphore.mli: Msg_lock Node System

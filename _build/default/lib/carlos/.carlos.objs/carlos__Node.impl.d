@@ -1,0 +1,1 @@
+lib/carlos/node.ml: Annotation Breakdown Carlos_dsm Carlos_sim Carlos_vm Float List Printf

@@ -1,0 +1,1 @@
+lib/carlos/node.mli: Annotation Breakdown Carlos_dsm Carlos_sim Carlos_vm

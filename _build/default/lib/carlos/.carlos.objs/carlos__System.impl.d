@@ -1,0 +1,1 @@
+lib/carlos/system.ml: Annotation Array Breakdown Bytes Carlos_dsm Carlos_net Carlos_sim Carlos_vm Float Int64 List Node Printf

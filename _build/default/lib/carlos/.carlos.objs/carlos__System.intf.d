@@ -1,0 +1,1 @@
+lib/carlos/system.mli: Carlos_dsm Carlos_sim Carlos_vm Node

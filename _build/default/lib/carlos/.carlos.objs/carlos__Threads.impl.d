@@ -1,0 +1,1 @@
+lib/carlos/threads.ml: Carlos_sim List Node

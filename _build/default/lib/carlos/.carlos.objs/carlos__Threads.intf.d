@@ -1,0 +1,1 @@
+lib/carlos/threads.mli: Node

@@ -1,0 +1,1 @@
+lib/carlos/work_queue.ml: Annotation Array Carlos_sim Node Queue System

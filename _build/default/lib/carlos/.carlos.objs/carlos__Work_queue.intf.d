@@ -1,0 +1,1 @@
+lib/carlos/work_queue.mli: Node System

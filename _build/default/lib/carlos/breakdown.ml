@@ -1,0 +1,31 @@
+type bucket = User | Unix | Carlos
+
+type t = { mutable user : float; mutable unix : float; mutable carlos : float }
+
+let create () = { user = 0.0; unix = 0.0; carlos = 0.0 }
+
+let add t bucket dt =
+  if dt < 0.0 then invalid_arg "Breakdown.add: negative time";
+  match bucket with
+  | User -> t.user <- t.user +. dt
+  | Unix -> t.unix <- t.unix +. dt
+  | Carlos -> t.carlos <- t.carlos +. dt
+
+let user t = t.user
+
+let unix t = t.unix
+
+let carlos t = t.carlos
+
+let busy t = t.user +. t.unix +. t.carlos
+
+let idle t ~wall = Float.max 0.0 (wall -. busy t)
+
+let reset t =
+  t.user <- 0.0;
+  t.unix <- 0.0;
+  t.carlos <- 0.0
+
+let pp ppf t =
+  Format.fprintf ppf "user=%.3fs unix=%.3fs carlos=%.3fs" t.user t.unix
+    t.carlos

@@ -1,0 +1,35 @@
+(** Per-node execution-time breakdown, as in the paper's Figure 2.
+
+    Every virtual second of CPU consumed on a node is attributed to one of
+    three buckets; idle time is what remains of wall-clock time:
+
+    - [User]: application computation;
+    - [Unix]: operating-system costs (system calls, protocol stack);
+    - [Carlos]: CarlOS message handling and shared-memory consistency
+      machinery.
+
+    The record counts CPU {e demand}; contention for the node CPU shows up
+    as idle time, exactly as it would under a profiler. *)
+
+type bucket = User | Unix | Carlos
+
+type t
+
+val create : unit -> t
+
+val add : t -> bucket -> float -> unit
+
+val user : t -> float
+
+val unix : t -> float
+
+val carlos : t -> float
+
+val busy : t -> float
+
+(** [idle t ~wall] = [wall - busy t] (never negative). *)
+val idle : t -> wall:float -> float
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

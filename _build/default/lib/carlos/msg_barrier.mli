@@ -1,0 +1,26 @@
+(** TreadMarks-style global barrier built from annotated messages
+    (paper §3).
+
+    Clients arriving at the barrier send arrival messages to the manager —
+    [RELEASE_NT] for the default global barrier, since the union of every
+    node's own intervals is a globally consistent view, or full [RELEASE]
+    for the transitive variant (the paper's "two kinds of barrier").  The
+    manager {e stores} arrivals until everyone is in, accepts them as a
+    batch (becoming consistent with all clients), and then signals the
+    fall of the barrier with departure messages marked [RELEASE]: each
+    client, on accepting its departure, is consistent with the manager and
+    hence with every other client. *)
+
+type t
+
+(** [create system ~manager ~name ~transitive] — [transitive:false]
+    (default) uses RELEASE_NT arrivals. *)
+val create :
+  System.t -> manager:int -> name:string -> ?transitive:bool -> unit -> t
+
+(** Block until all [node_count] nodes have arrived.  Reusable across any
+    number of episodes. *)
+val wait : t -> Node.t -> unit
+
+(** Completed episodes. *)
+val episodes : t -> int

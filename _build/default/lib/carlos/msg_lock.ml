@@ -1,0 +1,147 @@
+module Ivar = Carlos_sim.Resource.Ivar
+
+type status = Released | Acquiring | Holding
+
+type per_node = {
+  mutable status : status;
+  (* The lock token rests at the last holder after a release until a
+     forwarded request claims it.  A node can be [Acquiring] while still
+     holding the dormant token (it released and immediately re-requested);
+     a forwarded request arriving in that window was ordered ahead of the
+     re-request by the manager and must be granted at once — chaining it
+     instead creates a two-node cycle. *)
+  mutable token : bool;
+  mutable next : int option; (* successor to grant to on release *)
+  mutable gate : unit Ivar.t option; (* filled when the grant arrives *)
+}
+
+type t = {
+  manager : int;
+  name : string;
+  mutable tail : int; (* last requester, as known at the manager *)
+  per_node : per_node array;
+  mutable acquisitions : int;
+  mutable wait_time : float; (* cumulative time spent blocked in acquire *)
+  mutable held_time : float; (* cumulative time the lock was held *)
+  mutable acquired_at : float;
+}
+
+let create system ~manager ~name =
+  let n = System.node_count system in
+  if manager < 0 || manager >= n then invalid_arg "Msg_lock.create: manager";
+  {
+    manager;
+    name;
+    tail = manager;
+    per_node =
+      Array.init n (fun i ->
+          { status = Released; token = i = manager; next = None; gate = None });
+    acquisitions = 0;
+    wait_time = 0.0;
+    held_time = 0.0;
+    acquired_at = 0.0;
+  }
+
+let request_bytes = 16
+
+let grant_bytes = 8
+
+(* Send the RELEASE grant that hands the lock to [requester]; accepting it
+   fills the gate the requester parked on. *)
+let grant t node ~requester =
+  Node.send node ~dst:requester ~annotation:Annotation.Release
+    ~payload_bytes:grant_bytes
+    ~handler:(fun here d ->
+      Node.accept d;
+      t.acquisitions <- t.acquisitions + 1;
+      let st = t.per_node.(Node.id here) in
+      st.token <- true;
+      match st.gate with
+      | Some gate ->
+        st.gate <- None;
+        Ivar.fill gate ()
+      | None ->
+        raise (Node.Handler_error (t.name ^ ": grant with nobody waiting")))
+
+let acquire t node =
+  let me = Node.id node in
+  let st = t.per_node.(me) in
+  (match st.status with
+  | Released -> ()
+  | Acquiring | Holding ->
+    invalid_arg
+      (Printf.sprintf "Msg_lock.acquire(%s): node %d already has it" t.name me));
+  st.status <- Acquiring;
+  let gate = Ivar.create () in
+  st.gate <- Some gate;
+  (* The handler travels with the message: first hop runs at the manager
+     (update the tail, forward to the previous tail), second hop at the
+     previous tail (grant now or chain the requester behind it). *)
+  let requested_at = Node.time node in
+  let hop = ref `At_manager in
+  Node.send node ~dst:t.manager ~annotation:Annotation.Request
+    ~payload_bytes:request_bytes
+    ~handler:(fun here d ->
+      match !hop with
+      | `At_manager ->
+        hop := `At_tail;
+        let prev = t.tail in
+        t.tail <- me;
+        Node.forward d ~dst:prev
+      | `At_tail ->
+        Node.accept d;
+        let tail_state = t.per_node.(Node.id here) in
+        if tail_state.token && tail_state.status <> Holding then begin
+          (* Dormant token (covers self-handoff, where the manager routed
+             our own request back to us). *)
+          tail_state.token <- false;
+          grant t here ~requester:me
+        end
+        else begin
+          match tail_state.next with
+          | None -> tail_state.next <- Some me
+          | Some _ ->
+            raise
+              (Node.Handler_error (t.name ^ ": tail already has a successor"))
+        end);
+  Node.await node gate;
+  t.wait_time <- t.wait_time +. (Node.time node -. requested_at);
+  t.acquired_at <- Node.time node;
+  st.status <- Holding
+
+let release t node =
+  let me = Node.id node in
+  let st = t.per_node.(me) in
+  (match st.status with
+  | Holding -> ()
+  | Released | Acquiring ->
+    invalid_arg
+      (Printf.sprintf "Msg_lock.release(%s): node %d does not hold it" t.name
+         me));
+  Node.flush_compute node;
+  t.held_time <- t.held_time +. (Node.time node -. t.acquired_at);
+  st.status <- Released;
+  match st.next with
+  | None -> () (* the token rests here until a forwarded request claims it *)
+  | Some successor ->
+    st.next <- None;
+    st.token <- false;
+    grant t node ~requester:successor
+
+let held t node = t.per_node.(Node.id node).status = Holding
+
+let wait_time t = t.wait_time
+
+let held_time t = t.held_time
+
+let acquisitions t = t.acquisitions
+
+let with_lock t node f =
+  acquire t node;
+  match f () with
+  | v ->
+    release t node;
+    v
+  | exception e ->
+    release t node;
+    raise e

@@ -1,0 +1,135 @@
+module Ivar = Carlos_sim.Resource.Ivar
+
+module Semaphore = struct
+  type t = {
+    manager : int;
+    name : string;
+    mutable count : int;
+    waiters : int Queue.t; (* node ids in arrival order *)
+    gates : unit Ivar.t Queue.t array; (* per node, FIFO of parked P's *)
+  }
+
+  let create system ~manager ~name ~initial =
+    if initial < 0 then invalid_arg "Semaphore.create: negative count";
+    let nodes = System.node_count system in
+    {
+      manager;
+      name;
+      count = initial;
+      waiters = Queue.create ();
+      gates = Array.init nodes (fun _ -> Queue.create ());
+    }
+
+  let grant t manager_node ~dst =
+    Node.send manager_node ~dst ~annotation:Annotation.Release
+      ~payload_bytes:8
+      ~handler:(fun here d ->
+        Node.accept d;
+        let q = t.gates.(Node.id here) in
+        if Queue.is_empty q then
+          raise (Node.Handler_error (t.name ^ ": grant with no waiter"))
+        else Ivar.fill (Queue.pop q) ())
+
+  let wait t node =
+    let me = Node.id node in
+    let gate = Ivar.create () in
+    Queue.add gate t.gates.(me);
+    Node.send node ~dst:t.manager ~annotation:Annotation.Request
+      ~payload_bytes:16
+      ~handler:(fun manager_node d ->
+        Node.accept d;
+        if t.count > 0 then begin
+          t.count <- t.count - 1;
+          grant t manager_node ~dst:me
+        end
+        else Queue.add me t.waiters);
+    Node.await node gate
+
+  let signal t node =
+    Node.send node ~dst:t.manager ~annotation:Annotation.Release
+      ~payload_bytes:8
+      ~handler:(fun manager_node d ->
+        (* The manager accepts the V, becoming consistent with the
+           signaller; a grant then carries that consistency onward. *)
+        Node.accept d;
+        if Queue.is_empty t.waiters then t.count <- t.count + 1
+        else grant t manager_node ~dst:(Queue.pop t.waiters))
+
+  let value t = t.count
+end
+
+module Condition = struct
+  type t = {
+    manager : int;
+    name : string;
+    waiters : int Queue.t;
+    gates : unit Ivar.t Queue.t array;
+  }
+
+  let create system ~manager ~name =
+    let nodes = System.node_count system in
+    {
+      manager;
+      name;
+      waiters = Queue.create ();
+      gates = Array.init nodes (fun _ -> Queue.create ());
+    }
+
+  let fill_one t here =
+    let q = t.gates.(Node.id here) in
+    if Queue.is_empty q then
+      raise (Node.Handler_error (t.name ^ ": signal with no parked waiter"))
+    else Ivar.fill (Queue.pop q) ()
+
+  let wait t node ~lock =
+    let me = Node.id node in
+    let gate = Ivar.create () in
+    Queue.add gate t.gates.(me);
+    (* Register at the manager, then drop the lock. *)
+    Node.send node ~dst:t.manager ~annotation:Annotation.Request
+      ~payload_bytes:16
+      ~handler:(fun _manager_node d ->
+        Node.accept d;
+        Queue.add me t.waiters);
+    Msg_lock.release lock node;
+    Node.await node gate;
+    Msg_lock.acquire lock node
+
+  let signal t node =
+    (* The signal is a RELEASE relayed through the manager with the
+       forwarding mechanism: the manager inspects, picks a waiter and
+       forwards without accepting, so it stays out of the causal chain. *)
+    let hop = ref `At_manager in
+    Node.send node ~dst:t.manager ~annotation:Annotation.Release
+      ~payload_bytes:8
+      ~handler:(fun here d ->
+        match !hop with
+        | `At_manager ->
+          if Queue.is_empty t.waiters then
+            (* Nobody waiting: the signal is lost (Mesa semantics); the
+               manager absorbs it. *)
+            Node.accept d
+          else begin
+            hop := `At_waiter;
+            Node.forward d ~dst:(Queue.pop t.waiters)
+          end
+        | `At_waiter ->
+          Node.accept d;
+          fill_one t here)
+
+  let broadcast t node =
+    (* Forwarding cannot duplicate a message, so broadcast is
+       manager-mediated: accept once, then re-release to every waiter. *)
+    Node.send node ~dst:t.manager ~annotation:Annotation.Release
+      ~payload_bytes:8
+      ~handler:(fun manager_node d ->
+        Node.accept d;
+        while not (Queue.is_empty t.waiters) do
+          let waiter = Queue.pop t.waiters in
+          Node.send manager_node ~dst:waiter ~annotation:Annotation.Release
+            ~payload_bytes:8
+            ~handler:(fun here d2 ->
+              Node.accept d2;
+              fill_one t here)
+        done)
+end

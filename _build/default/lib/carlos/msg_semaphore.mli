@@ -1,0 +1,46 @@
+(** Counting semaphore and condition variable with manager-based message
+    protocols ("Semaphores and condition variables have similar
+    implementations", paper §3).
+
+    The semaphore's V is a [RELEASE] to the manager (the manager accepts
+    it, becoming consistent with the signaller); a granted P receives a
+    [RELEASE] from the manager, so the waiter becomes transitively
+    consistent with the V that woke it. *)
+
+module Semaphore : sig
+  type t
+
+  val create :
+    System.t -> manager:int -> name:string -> initial:int -> t
+
+  (** P / wait: blocks until a unit is available. *)
+  val wait : t -> Node.t -> unit
+
+  (** V / signal: asynchronous. *)
+  val signal : t -> Node.t -> unit
+
+  (** Current count as known at the manager (diagnostic). *)
+  val value : t -> int
+end
+
+(** Condition variable to be used under a {!Msg_lock.t}.  [signal] relays
+    the signaller's [RELEASE] to one waiter through the manager using the
+    forwarding mechanism, so the manager itself never becomes consistent
+    with the signaller. *)
+module Condition : sig
+  type t
+
+  val create : System.t -> manager:int -> name:string -> t
+
+  (** Atomically release [lock], wait for a signal, and re-acquire
+      [lock]. *)
+  val wait : t -> Node.t -> lock:Msg_lock.t -> unit
+
+  (** Wake one waiter (no-op if none). *)
+  val signal : t -> Node.t -> unit
+
+  (** Wake all waiters.  The manager accepts the broadcast and re-releases
+      to each waiter (documented deviation: forwarding duplicates a single
+      message, so broadcast is manager-mediated). *)
+  val broadcast : t -> Node.t -> unit
+end

@@ -1,0 +1,382 @@
+module Engine = Carlos_sim.Engine
+module Resource = Carlos_sim.Resource
+module Ivar = Resource.Ivar
+module Mailbox = Resource.Mailbox
+module Shm = Carlos_vm.Shm
+module Lrc = Carlos_dsm.Lrc
+module Vc = Carlos_dsm.Vc
+module Interval = Carlos_dsm.Interval
+module Diff = Carlos_vm.Diff
+module Cost = Carlos_dsm.Cost
+module Trace = Carlos_sim.Trace
+
+exception Handler_error of string
+
+let am_header_bytes = 16
+
+type lane = User_lane | System_lane
+
+type msg_stats = {
+  mutable sent : int;
+  mutable bytes : int;
+  mutable sent_release : int;
+  mutable sent_release_nt : int;
+  mutable sent_request : int;
+  mutable sent_none : int;
+  mutable stored : int;
+  mutable forwarded : int;
+}
+
+type t = {
+  id : int;
+  nodes : int;
+  engine : Engine.t;
+  shm : Shm.t;
+  lrc : Lrc.t;
+  (* Preemptible CPU model: application computation occupies the CPU up to
+     [cpu_busy_until]; message-handler and consistency work runs at
+     interrupt level (SIGIO/SIGSEGV in the real system), preempting the
+     application by pushing its completion time back. *)
+  mutable cpu_busy_until : float;
+  costs : Cost.t;
+  breakdown : Breakdown.t;
+  (* Arrival order from the reliable transport; drained by the interrupt
+     fiber, which must never block on anything but the CPU. *)
+  rx : delivery Mailbox.t;
+  user_lane : delivery Mailbox.t;
+  mutable transport_send : dst:int -> wire_bytes:int -> wire -> unit;
+  mutable safe_point_hook : t -> unit;
+  mutable tracer : Trace.t option;
+  mutable pending_compute : float;
+  stats : msg_stats;
+}
+
+and wire = {
+  origin : int; (* original sender; forwarding preserves it *)
+  annotation : Annotation.t;
+  lane : lane;
+  payload_bytes : int;
+  handler : handler;
+  piggyback : Lrc.piggyback option; (* RELEASE / RELEASE_NT *)
+  sender_vc : Vc.t option; (* REQUEST *)
+}
+
+and delivery = {
+  message : wire;
+  src : int; (* immediate sender (differs from origin after forwarding) *)
+  target : t;
+  mutable disposition : disposition;
+}
+
+and disposition = Undecided | Stored | Accepted | Forwarded
+
+and handler = t -> delivery -> unit
+
+let id t = t.id
+
+let node_count t = t.nodes
+
+let engine t = t.engine
+
+let shm t = t.shm
+
+let lrc t = t.lrc
+
+let breakdown t = t.breakdown
+
+let costs t = t.costs
+
+let msg_stats t = t.stats
+
+let time t = Engine.now t.engine
+
+let trace t ~tag detail =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+    Trace.record tr ~time:(Engine.now t.engine) ~node:t.id ~tag ~detail
+
+(* ------------------------------------------------------------------ *)
+(* CPU accounting *)
+
+let charge t bucket dt =
+  if dt > 0.0 then begin
+    Breakdown.add t.breakdown bucket dt;
+    match bucket with
+    | Breakdown.User ->
+      (* Base-load computation: runs after any earlier reservation and is
+         preempted (pushed back) by interrupt-level work that arrives
+         while it executes. *)
+      let start = Float.max (Engine.now t.engine) t.cpu_busy_until in
+      t.cpu_busy_until <- start +. dt;
+      let rec wait () =
+        let now = Engine.now t.engine in
+        if now < t.cpu_busy_until then begin
+          Engine.delay (t.cpu_busy_until -. now);
+          wait ()
+        end
+      in
+      wait ()
+    | Breakdown.Unix | Breakdown.Carlos ->
+      (* Interrupt-level work: executes immediately and delays the
+         application's pending computation. *)
+      t.cpu_busy_until <- t.cpu_busy_until +. dt;
+      Engine.delay dt
+  end
+
+let compute t dt =
+  if dt < 0.0 then invalid_arg "Node.compute: negative time";
+  t.pending_compute <- t.pending_compute +. dt
+
+let flush_compute t =
+  if t.pending_compute > 0.0 then begin
+    let dt = t.pending_compute in
+    t.pending_compute <- 0.0;
+    charge t Breakdown.User dt
+  end;
+  t.safe_point_hook t
+
+(* ------------------------------------------------------------------ *)
+(* Sending *)
+
+let wire_size message =
+  am_header_bytes + message.payload_bytes
+  + (match message.piggyback with
+    | Some pb -> Lrc.piggyback_size_bytes pb
+    | None -> 0)
+  + match message.sender_vc with Some vc -> Vc.size_bytes vc | None -> 0
+
+let count_send t message size =
+  t.stats.sent <- t.stats.sent + 1;
+  t.stats.bytes <- t.stats.bytes + size;
+  match message.annotation with
+  | Annotation.Release -> t.stats.sent_release <- t.stats.sent_release + 1
+  | Annotation.Release_nt ->
+    t.stats.sent_release_nt <- t.stats.sent_release_nt + 1
+  | Annotation.Request -> t.stats.sent_request <- t.stats.sent_request + 1
+  | Annotation.None_ -> t.stats.sent_none <- t.stats.sent_none + 1
+
+let transmit t ~dst message =
+  if dst = t.id then begin
+    (* Local delivery: protocol hops that land on the sending node (a
+       manager forwarding to itself, a manager dequeuing from its own
+       queue) never touch the wire; they cost one dispatch and are not
+       counted as network messages. *)
+    charge t Breakdown.Carlos t.costs.Cost.handler_dispatch;
+    Mailbox.send t.rx { message; src = t.id; target = t; disposition = Undecided }
+  end
+  else begin
+    let size = wire_size message in
+    count_send t message size;
+    trace t ~tag:"send"
+      (Printf.sprintf "-> n%d %s %dB" dst
+         (Annotation.to_string message.annotation)
+         size);
+    charge t Breakdown.Unix t.costs.Cost.send_syscall;
+    t.transport_send ~dst ~wire_bytes:size message
+  end
+
+let send_internal t ~dst ~lane ~annotation ~payload_bytes ~handler =
+  flush_compute t;
+  let piggyback, sender_vc =
+    match annotation with
+    | Annotation.Release ->
+      (Some (Lrc.make_piggyback t.lrc ~receiver:dst ~nontransitive:false), None)
+    | Annotation.Release_nt ->
+      (Some (Lrc.make_piggyback t.lrc ~receiver:dst ~nontransitive:true), None)
+    | Annotation.Request ->
+      charge t Breakdown.Carlos t.costs.Cost.vc_piggyback;
+      (None, Some (Vc.copy (Lrc.vc t.lrc)))
+    | Annotation.None_ -> (None, None)
+  in
+  let message =
+    { origin = t.id; annotation; lane; payload_bytes; handler; piggyback;
+      sender_vc }
+  in
+  transmit t ~dst message
+
+let send t ~dst ~annotation ~payload_bytes ~handler =
+  send_internal t ~dst ~lane:User_lane ~annotation ~payload_bytes ~handler
+
+(* ------------------------------------------------------------------ *)
+(* Disposition *)
+
+let delivery_src d = d.src
+
+let delivery_annotation d = d.message.annotation
+
+let delivery_sender_vc d =
+  match d.message.sender_vc with
+  | Some vc -> vc
+  | None ->
+    raise (Handler_error "delivery_sender_vc: not a REQUEST message")
+
+let check_disposable d op =
+  match d.disposition with
+  | Undecided | Stored -> ()
+  | Accepted | Forwarded ->
+    raise (Handler_error (op ^ ": message already disposed of"))
+
+let accept_batch t deliveries =
+  let piggybacks =
+    List.filter_map
+      (fun d ->
+        check_disposable d "accept";
+        d.disposition <- Accepted;
+        match d.message.annotation with
+        | Annotation.Release | Annotation.Release_nt ->
+          charge t Breakdown.Carlos t.costs.Cost.release_fixed;
+          d.message.piggyback
+        | Annotation.Request | Annotation.None_ -> None)
+      deliveries
+  in
+  if piggybacks <> [] then Lrc.accept t.lrc piggybacks
+
+let accept d = accept_batch d.target [ d ]
+
+let forward d ~dst =
+  check_disposable d "forward";
+  d.disposition <- Forwarded;
+  let t = d.target in
+  t.stats.forwarded <- t.stats.forwarded + 1;
+  transmit t ~dst d.message
+
+let store d =
+  (match d.disposition with
+  | Undecided -> ()
+  | Stored | Accepted | Forwarded ->
+    raise (Handler_error "store: message already disposed of"));
+  d.disposition <- Stored;
+  d.target.stats.stored <- d.target.stats.stored + 1
+
+(* ------------------------------------------------------------------ *)
+(* Receiving *)
+
+let run_handler t d =
+  trace t ~tag:"deliver"
+    (Printf.sprintf "<- n%d %s" d.src
+       (Annotation.to_string d.message.annotation));
+  charge t Breakdown.Carlos t.costs.Cost.handler_dispatch;
+  (match d.message.annotation with
+  | Annotation.Request -> (
+    charge t Breakdown.Carlos t.costs.Cost.vc_piggyback;
+    match d.message.sender_vc with
+    | Some vc -> Lrc.note_peer_vc t.lrc ~peer:d.message.origin vc
+    | None -> ())
+  | Annotation.Release | Annotation.Release_nt | Annotation.None_ -> ());
+  d.message.handler t d;
+  match d.disposition with
+  | Undecided ->
+    raise
+      (Handler_error
+         "handler returned without accepting, forwarding or storing")
+  | Stored | Accepted | Forwarded -> ()
+
+(* Non-blocking: called directly by the sliding-window layer, which relies
+   on its upcall returning promptly to keep per-pair delivery in order. *)
+let deliver t ~src message =
+  Mailbox.send t.rx { message; src; target = t; disposition = Undecided }
+
+let start_dispatcher t =
+  (* Interrupt fiber: receive-side system costs and system-lane handlers
+     (which are non-blocking by construction: protocol services and RPC
+     reply continuations). *)
+  Engine.spawn t.engine (fun () ->
+      let rec loop () =
+        let d = Mailbox.recv t.rx in
+        (* Locally delivered messages (src = self) never crossed the wire
+           and pay no receive syscall. *)
+        if d.src <> t.id then
+          charge t Breakdown.Unix t.costs.Cost.recv_syscall;
+        (match d.message.lane with
+        | System_lane -> run_handler t d
+        | User_lane -> Mailbox.send t.user_lane d);
+        loop ()
+      in
+      loop ());
+  (* User dispatcher fiber: runs user-message handlers one at a time; these
+     may block (e.g. the acquire side of an accepted RELEASE fetching
+     missing consistency information), which simply delays later user
+     messages, as in the paper's model. *)
+  Engine.spawn t.engine (fun () ->
+      let rec loop () =
+        let d = Mailbox.recv t.user_lane in
+        run_handler t d;
+        loop ()
+      in
+      loop ())
+
+(* ------------------------------------------------------------------ *)
+(* Blocking helpers *)
+
+let await t ivar =
+  flush_compute t;
+  Ivar.read ivar
+
+let rpc t ~dst ~request_bytes ~service ~reply_bytes =
+  flush_compute t;
+  let result = Ivar.create () in
+  let me = t.id in
+  send_internal t ~dst ~lane:System_lane ~annotation:Annotation.None_
+    ~payload_bytes:request_bytes ~handler:(fun remote d ->
+      accept d;
+      let reply = service remote in
+      send_internal remote ~dst:me ~lane:System_lane
+        ~annotation:Annotation.None_
+        ~payload_bytes:(reply_bytes reply)
+        ~handler:(fun _local d2 ->
+          accept d2;
+          Ivar.fill result reply));
+  Ivar.read result
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let make ~id ~nodes ~engine ~shm ~costs ?strategy () =
+  (* The LRC engine charges consistency work to this node's CPU; tie the
+     knot with a forward reference. *)
+  let charge_consistency = ref (fun (_ : float) -> ()) in
+  let lrc =
+    Lrc.create ~nodes ~me:id ~page_table:(Shm.page_table shm) ~costs
+      ~charge:(fun dt -> !charge_consistency dt)
+      ?strategy ()
+  in
+  let t =
+    {
+      id;
+      nodes;
+      engine;
+      shm;
+      lrc;
+      cpu_busy_until = 0.0;
+      costs;
+      breakdown = Breakdown.create ();
+      rx = Mailbox.create ();
+      user_lane = Mailbox.create ();
+      transport_send =
+        (fun ~dst:_ ~wire_bytes:_ _ ->
+          invalid_arg "Node: transport not installed");
+      safe_point_hook = (fun _ -> ());
+      tracer = None;
+      pending_compute = 0.0;
+      stats =
+        {
+          sent = 0;
+          bytes = 0;
+          sent_release = 0;
+          sent_release_nt = 0;
+          sent_request = 0;
+          sent_none = 0;
+          stored = 0;
+          forwarded = 0;
+        };
+    }
+  in
+  charge_consistency := (fun dt -> charge t Breakdown.Carlos dt);
+  t
+
+let set_transport_send t f = t.transport_send <- f
+
+let set_safe_point_hook t f = t.safe_point_hook <- f
+
+let set_tracer t tracer = t.tracer <- Some tracer

@@ -1,0 +1,412 @@
+module Engine = Carlos_sim.Engine
+module Rng = Carlos_sim.Rng
+module Ivar = Carlos_sim.Resource.Ivar
+module Medium = Carlos_net.Medium
+module Datagram = Carlos_net.Datagram
+module Sliding_window = Carlos_net.Sliding_window
+module Region = Carlos_vm.Region
+module Shm = Carlos_vm.Shm
+module Page = Carlos_vm.Page
+module Page_table = Carlos_vm.Page_table
+module Alloc = Carlos_vm.Alloc
+module Diff = Carlos_vm.Diff
+module Vc = Carlos_dsm.Vc
+module Interval = Carlos_dsm.Interval
+module Cost = Carlos_dsm.Cost
+module Lrc = Carlos_dsm.Lrc
+
+type config = {
+  nodes : int;
+  page_size : int;
+  coherent_pages : int;
+  private_bytes : int;
+  noncoherent_bytes : int;
+  latency : float;
+  bandwidth : float;
+  window : int;
+  rto : float;
+  loss : float;
+  costs : Cost.t;
+  strategy : Lrc.strategy;
+  seed : int;
+  gc_threshold : int option;
+}
+
+let default_config ~nodes =
+  {
+    nodes;
+    page_size = 4096;
+    coherent_pages = 512;
+    private_bytes = 1 lsl 20;
+    noncoherent_bytes = 1 lsl 20;
+    latency = 1e-4;
+    bandwidth = 1.25e6;
+    window = 8;
+    rto = 0.1;
+    loss = 0.0;
+    costs = Cost.default;
+    strategy = Lrc.Invalidate;
+    seed = 42;
+    gc_threshold = Some (512 * 1024);
+  }
+
+type node_report = {
+  node : int;
+  user : float;
+  unix : float;
+  carlos : float;
+  idle : float;
+  msgs_sent : int;
+  bytes_sent : int;
+}
+
+type report = {
+  wall : float;
+  per_node : node_report array;
+  messages : int;
+  message_bytes : int;
+  avg_message_bytes : float;
+  net_utilization : float;
+  gc_runs : int;
+  diffs_created : int;
+  diff_requests : int;
+}
+
+type gc_state = {
+  mutable in_progress : bool;
+  mutable runs : int;
+  mutable requested : bool;
+}
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  medium : Node.wire Sliding_window.frame Medium.t;
+  sw : Node.wire Sliding_window.t;
+  region : Region.t;
+  nodes : Node.t array;
+  coherent_alloc : Alloc.t;
+  noncoherent_alloc : Alloc.t;
+  rng : Rng.t;
+  gc : gc_state;
+  trace : Carlos_sim.Trace.t;
+}
+
+exception Stalled of string
+
+let config t = t.cfg
+
+let engine t = t.engine
+
+let node t i = t.nodes.(i)
+
+let node_count t = t.cfg.nodes
+
+let region t = t.region
+
+let rng t = t.rng
+
+let gc_runs t = t.gc.runs
+
+let trace t = t.trace
+
+let set_tracing t enabled = Carlos_sim.Trace.set_enabled t.trace enabled
+
+(* ------------------------------------------------------------------ *)
+(* Shared-memory setup *)
+
+let alloc t ?align n = Alloc.alloc t.coherent_alloc ?align n
+
+let alloc_noncoherent t ?align n = Alloc.alloc t.noncoherent_alloc ?align n
+
+(* Write directly into every node's page frame, bypassing fault handling:
+   models identical input data loaded locally on every node. *)
+let preload_bytes t addr src =
+  Array.iter
+    (fun node ->
+      let shm = Node.shm node in
+      match Region.locate t.region addr with
+      | Region.Coherent { page; offset } ->
+        let frame = Page.data (Page_table.page (Shm.page_table shm) page) in
+        Bytes.blit src 0 frame offset (Bytes.length src)
+      | Region.Private _ | Region.Noncoherent _ ->
+        invalid_arg "System.preload: address not in the coherent region")
+    t.nodes
+
+let preload_i64 t addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  preload_bytes t addr b
+
+let preload_f64 t addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.bits_of_float v);
+  preload_bytes t addr b
+
+(* ------------------------------------------------------------------ *)
+(* LRC transport over the message layer *)
+
+let diff_request_bytes req =
+  8
+  + List.fold_left
+      (fun acc (_, ids) -> acc + 4 + (8 * List.length ids))
+      0 req
+
+let diff_reply_bytes reply =
+  8
+  + List.fold_left
+      (fun acc (_, _, ds) ->
+        acc + 8
+        + List.fold_left (fun a d -> a + Diff.size_bytes d) 0 ds)
+      0 reply
+
+let interval_reply_bytes intervals =
+  8 + List.fold_left (fun acc i -> acc + Interval.size_bytes i) 0 intervals
+
+let page_reply_bytes cfg = function
+  | None -> 8
+  | Some (_ : Lrc.page_reply) -> 8 + cfg.page_size + (2 * cfg.nodes)
+
+let wire_transport t node =
+  let me = Node.id node in
+  {
+    Lrc.fetch_diffs =
+      (fun ~dst req ->
+        Node.rpc node ~dst ~request_bytes:(diff_request_bytes req)
+          ~service:(fun remote -> Lrc.serve_diffs (Node.lrc remote) req)
+          ~reply_bytes:diff_reply_bytes);
+    fetch_intervals =
+      (fun ~dst ~have ->
+        Node.rpc node ~dst
+          ~request_bytes:(8 + (2 * t.cfg.nodes))
+          ~service:(fun remote ->
+            let lrc = Node.lrc remote in
+            Lrc.note_peer_vc lrc ~peer:me have;
+            Lrc.serve_intervals lrc ~have)
+          ~reply_bytes:interval_reply_bytes);
+    fetch_page =
+      (fun ~dst ~page ->
+        Node.rpc node ~dst ~request_bytes:12
+          ~service:(fun remote -> Lrc.serve_page (Node.lrc remote) ~page)
+          ~reply_bytes:(page_reply_bytes t.cfg));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Global garbage collection of consistency metadata.
+
+   A rendezvous with the same shape as a TreadMarks barrier-time GC:
+
+   1. the coordinator (node 0) collects a RELEASE_NT-style contribution
+      from every node (each node's own intervals) and accepts their union;
+   2. it sends every node a tailored RELEASE departure; on acceptance each
+      node validates all of its invalid pages (forcing every outstanding
+      diff to be encoded and transferred — "thereby forcing more messages
+      to be sent");
+   3. when all nodes have validated, everyone discards interval records
+      and diffs covered by the snapshot.
+
+   Applications keep running throughout; anything they write during the
+   rendezvous belongs to open or post-snapshot intervals, which survive. *)
+
+let run_gc t =
+  let coord = t.nodes.(0) in
+  let n = t.cfg.nodes in
+  (* 1. Collect contributions. *)
+  let arrivals =
+    List.map
+      (fun i ->
+        Node.rpc coord ~dst:i ~request_bytes:8
+          ~service:(fun remote ->
+            Lrc.make_piggyback (Node.lrc remote) ~receiver:0
+              ~nontransitive:true)
+          ~reply_bytes:Lrc.piggyback_size_bytes)
+      (List.init (n - 1) (fun i -> i + 1))
+  in
+  Lrc.accept (Node.lrc coord) arrivals;
+  let snapshot = Vc.copy (Lrc.vc (Node.lrc coord)) in
+  (* 2. Departures: tailored RELEASE; each node validates everything. *)
+  let validated =
+    List.map
+      (fun i ->
+        let done_ = Ivar.create () in
+        Node.send coord ~dst:i ~annotation:Annotation.Release ~payload_bytes:16
+          ~handler:(fun remote d ->
+            Node.accept d;
+            Lrc.validate_all (Node.lrc remote);
+            Node.send remote ~dst:0 ~annotation:Annotation.None_
+              ~payload_bytes:8
+              ~handler:(fun _ d2 ->
+                Node.accept d2;
+                Ivar.fill done_ ()));
+        done_)
+      (List.init (n - 1) (fun i -> i + 1))
+  in
+  Lrc.validate_all (Node.lrc coord);
+  List.iter (fun iv -> Node.await coord iv) validated;
+  (* 3. Discard everywhere. *)
+  let discarded =
+    List.map
+      (fun i ->
+        let done_ = Ivar.create () in
+        Node.send coord ~dst:i ~annotation:Annotation.None_ ~payload_bytes:16
+          ~handler:(fun remote d ->
+            Node.accept d;
+            Lrc.discard_before (Node.lrc remote) snapshot;
+            Node.send remote ~dst:0 ~annotation:Annotation.None_
+              ~payload_bytes:8
+              ~handler:(fun _ d2 ->
+                Node.accept d2;
+                Ivar.fill done_ ()));
+        done_)
+      (List.init (n - 1) (fun i -> i + 1))
+  in
+  Lrc.discard_before (Node.lrc coord) snapshot;
+  List.iter (fun iv -> Node.await coord iv) discarded;
+  t.gc.runs <- t.gc.runs + 1;
+  t.gc.in_progress <- false;
+  t.gc.requested <- false
+
+let request_gc t =
+  if not t.gc.in_progress then begin
+    t.gc.in_progress <- true;
+    Engine.spawn t.engine (fun () -> run_gc t)
+  end
+
+(* Safe-point hook installed on every node: ask for a GC when this node's
+   consistency metadata exceeds the threshold. *)
+let safe_point_check t node =
+  match t.cfg.gc_threshold with
+  | None -> ()
+  | Some threshold ->
+    if
+      (not t.gc.in_progress)
+      && Lrc.metadata_pressure (Node.lrc node) > threshold
+    then request_gc t
+
+(* ------------------------------------------------------------------ *)
+
+let create (cfg : config) =
+  if cfg.nodes <= 0 then invalid_arg "System.create: nodes";
+  let engine = Engine.create () in
+  let medium =
+    Medium.create engine ~nodes:cfg.nodes ~latency:cfg.latency
+      ~bandwidth:cfg.bandwidth
+  in
+  let rng = Rng.create ~seed:cfg.seed in
+  let datagram =
+    if cfg.loss > 0.0 then
+      Datagram.create medium ~loss:cfg.loss ~rng:(Rng.split rng) ()
+    else Datagram.create medium ()
+  in
+  let sw = Sliding_window.create engine datagram ~window:cfg.window ~rto:cfg.rto in
+  let region =
+    Region.create ~page_size:cfg.page_size ~private_bytes:cfg.private_bytes
+      ~noncoherent_bytes:cfg.noncoherent_bytes ~coherent_pages:cfg.coherent_pages
+      ()
+  in
+  let noncoherent = Bytes.make cfg.noncoherent_bytes '\000' in
+  let nodes =
+    Array.init cfg.nodes (fun id ->
+        let shm = Shm.create ~region ~noncoherent in
+        Node.make ~id ~nodes:cfg.nodes ~engine ~shm ~costs:cfg.costs
+          ~strategy:cfg.strategy ())
+  in
+  let t =
+    {
+      cfg;
+      engine;
+      medium;
+      sw;
+      region;
+      nodes;
+      coherent_alloc =
+        Alloc.create ~base:(Region.coherent_base region)
+          ~size:(cfg.coherent_pages * cfg.page_size);
+      noncoherent_alloc =
+        Alloc.create
+          ~base:(Region.noncoherent_base region)
+          ~size:cfg.noncoherent_bytes;
+      rng;
+      gc = { in_progress = false; runs = 0; requested = false };
+      trace = Carlos_sim.Trace.create ();
+    }
+  in
+  Array.iter
+    (fun node ->
+      let id = Node.id node in
+      Node.set_transport_send node (fun ~dst ~wire_bytes msg ->
+          Sliding_window.send sw ~src:id ~dst ~payload_bytes:wire_bytes msg);
+      Sliding_window.set_handler sw ~node:id (fun ~src ~size:_ msg ->
+          Node.deliver node ~src msg);
+      Lrc.set_transport (Node.lrc node) (wire_transport t node);
+      Node.set_safe_point_hook node (fun n -> safe_point_check t n);
+      Node.set_tracer node t.trace;
+      Node.start_dispatcher node)
+    t.nodes;
+  t
+
+let run t app =
+  let start = Engine.now t.engine in
+  let finished = Array.make t.cfg.nodes None in
+  Array.iter
+    (fun node ->
+      Engine.spawn t.engine (fun () ->
+          app node;
+          Node.flush_compute node;
+          finished.(Node.id node) <- Some (Engine.now t.engine)))
+    t.nodes;
+  Engine.run t.engine;
+  let finish_times =
+    Array.mapi
+      (fun i f ->
+        match f with
+        | Some time -> time
+        | None -> raise (Stalled (Printf.sprintf "node %d never finished" i)))
+      finished
+  in
+  let wall = Array.fold_left Float.max 0.0 finish_times -. start in
+  let per_node =
+    Array.map
+      (fun node ->
+        let b = Node.breakdown node in
+        let s = Node.msg_stats node in
+        {
+          node = Node.id node;
+          user = Breakdown.user b;
+          unix = Breakdown.unix b;
+          carlos = Breakdown.carlos b;
+          idle = Breakdown.idle b ~wall;
+          msgs_sent = s.Node.sent;
+          bytes_sent = s.Node.bytes;
+        })
+      t.nodes
+  in
+  let messages = Array.fold_left (fun a r -> a + r.msgs_sent) 0 per_node in
+  let message_bytes =
+    Array.fold_left (fun a r -> a + r.bytes_sent) 0 per_node
+  in
+  let diffs_created =
+    Array.fold_left
+      (fun a node -> a + (Lrc.stats (Node.lrc node)).Lrc.diffs_created)
+      0 t.nodes
+  in
+  let diff_requests =
+    Array.fold_left
+      (fun a node -> a + (Lrc.stats (Node.lrc node)).Lrc.diff_requests)
+      0 t.nodes
+  in
+  {
+    wall;
+    per_node;
+    messages;
+    message_bytes;
+    avg_message_bytes =
+      (if messages = 0 then 0.0
+       else float_of_int message_bytes /. float_of_int messages);
+    net_utilization =
+      (if wall <= 0.0 then 0.0
+       else float_of_int message_bytes *. 8.0 /. (1.0e7 *. wall));
+    gc_runs = t.gc.runs;
+    diffs_created;
+    diff_requests;
+  }

@@ -1,0 +1,115 @@
+(** Cluster bring-up and experiment harness.
+
+    A [System.t] is one simulated CarlOS cluster: the virtual-time engine,
+    the shared Ethernet segment with the UDP-like datagram service and the
+    sliding-window reliable transport, one {!Node.t} per workstation with
+    its LRC engine wired to the transport, a shared-region allocator, and
+    the global garbage collector for consistency metadata (paper §5.2
+    footnote 5).
+
+    Typical use:
+    {[
+      let sys = System.create (System.default_config ~nodes:4) in
+      let counter = System.alloc sys 8 in
+      let report = System.run sys (fun node -> ...app code...) in
+      Format.printf "%.1fs" report.wall
+    ]} *)
+
+type config = {
+  nodes : int;
+  page_size : int;
+  coherent_pages : int;
+  private_bytes : int;
+  noncoherent_bytes : int;
+  latency : float; (* seconds, wire propagation + interrupt *)
+  bandwidth : float; (* bytes per second (10 Mbit/s Ethernet = 1.25e6) *)
+  window : int; (* sliding-window size *)
+  rto : float; (* retransmission timeout, seconds *)
+  loss : float; (* datagram loss probability *)
+  costs : Carlos_dsm.Cost.t;
+  strategy : Carlos_dsm.Lrc.strategy;
+      (* coherence strategy: invalidate (paper's measured configuration),
+         update, or hybrid (paper §4.3) *)
+  seed : int;
+  gc_threshold : int option;
+      (* consistency-metadata bytes per node that trigger a global GC;
+         None disables GC *)
+}
+
+(** Paper-like defaults: 4 KB pages, 10 Mbit/s shared Ethernet, 100 us
+    latency, no loss, default cost table, GC at 512 KB of metadata. *)
+val default_config : nodes:int -> config
+
+type node_report = {
+  node : int;
+  user : float;
+  unix : float;
+  carlos : float;
+  idle : float;
+  msgs_sent : int;
+  bytes_sent : int;
+}
+
+type report = {
+  wall : float; (* start of run to last application exit *)
+  per_node : node_report array;
+  messages : int; (* CarlOS messages sent, forwards included *)
+  message_bytes : int; (* their wire bytes (headers + piggybacks) *)
+  avg_message_bytes : float;
+  net_utilization : float; (* fraction of the raw 10 Mbit/s, as in Tables 1-3 *)
+  gc_runs : int;
+  diffs_created : int;
+  diff_requests : int;
+}
+
+type t
+
+val create : config -> t
+
+val config : t -> config
+
+val engine : t -> Carlos_sim.Engine.t
+
+val node : t -> int -> Node.t
+
+val node_count : t -> int
+
+val region : t -> Carlos_vm.Region.t
+
+(** Deterministic per-system random stream (seeded from [config.seed]). *)
+val rng : t -> Carlos_sim.Rng.t
+
+(** Message-level event trace (sends and handler dispatches), off by
+    default; enable with {!set_tracing}. *)
+val trace : t -> Carlos_sim.Trace.t
+
+val set_tracing : t -> bool -> unit
+
+(** {1 Shared-memory setup} *)
+
+(** Allocate in the coherent shared region (setup-time, deterministic). *)
+val alloc : t -> ?align:int -> int -> int
+
+(** Allocate in the non-coherent shared region. *)
+val alloc_noncoherent : t -> ?align:int -> int -> int
+
+(** Write the same value into every node's copy of coherent memory without
+    taking faults — for input data every node would load from disk. *)
+val preload_i64 : t -> int -> int -> unit
+
+val preload_f64 : t -> int -> float -> unit
+
+(** {1 Running} *)
+
+exception Stalled of string
+
+(** [run t app] spawns [app node] on every node, runs the cluster to
+    quiescence and reports.  Raises {!Stalled} if some application fiber
+    never finished (protocol deadlock). *)
+val run : t -> (Node.t -> unit) -> report
+
+(** Number of global metadata GCs so far. *)
+val gc_runs : t -> int
+
+(** Ask for a GC at the next opportunity (for tests). *)
+val request_gc : t -> unit

@@ -1,0 +1,112 @@
+module Ivar = Carlos_sim.Resource.Ivar
+
+type mode = Forwarding | All_release | No_forwarding
+
+(* An item held at the manager: either the stored enqueue message itself
+   (forwarding modes) or just the accepted value (No_forwarding). *)
+type 'a held =
+  | Stored of Node.delivery
+  | Value of { item : 'a; bytes : int }
+
+type 'a t = {
+  manager : int;
+  name : string;
+  mode : mode;
+  items : 'a held Queue.t;
+  waiters : int Queue.t;
+  mutable closed : bool;
+  gates : 'a option Ivar.t Queue.t array; (* per node, parked dequeues *)
+}
+
+let create system ~manager ~name ?(mode = Forwarding) () =
+  let nodes = System.node_count system in
+  if manager < 0 || manager >= nodes then
+    invalid_arg "Work_queue.create: manager";
+  {
+    manager;
+    name;
+    mode;
+    items = Queue.create ();
+    waiters = Queue.create ();
+    closed = false;
+    gates = Array.init nodes (fun _ -> Queue.create ());
+  }
+
+let deliver_local t here result =
+  let q = t.gates.(Node.id here) in
+  if Queue.is_empty q then
+    raise (Node.Handler_error (t.name ^ ": reply with no parked dequeue"))
+  else Ivar.fill (Queue.pop q) result
+
+(* Answer a waiting dequeuer with [held] (runs at the manager). *)
+let hand_over t manager_node ~dst held =
+  match held with
+  | Stored d -> Node.forward d ~dst
+  | Value { item; bytes } ->
+    Node.send manager_node ~dst ~annotation:Annotation.Release
+      ~payload_bytes:(8 + bytes)
+      ~handler:(fun here reply ->
+        Node.accept reply;
+        deliver_local t here (Some item))
+
+let answer_closed t manager_node ~dst =
+  Node.send manager_node ~dst ~annotation:Annotation.None_ ~payload_bytes:8
+    ~handler:(fun here reply ->
+      Node.accept reply;
+      deliver_local t here None)
+
+let enqueue t node ~bytes item =
+  (* The enqueue handler travels with the message.  At the manager it is
+     stored (or accepted in No_forwarding mode); when forwarded onward, it
+     runs again at the dequeuer and completes the hand-off. *)
+  let hop = ref `At_manager in
+  Node.send node ~dst:t.manager ~annotation:Annotation.Release
+    ~payload_bytes:(8 + bytes)
+    ~handler:(fun here d ->
+      match !hop with
+      | `At_manager -> (
+        (match t.mode with
+        | Forwarding | All_release -> ()
+        | No_forwarding -> Node.accept d);
+        hop := `At_dequeuer;
+        let held =
+          match t.mode with
+          | Forwarding | All_release ->
+            Node.store d;
+            Stored d
+          | No_forwarding -> Value { item; bytes }
+        in
+        if Queue.is_empty t.waiters then Queue.add held t.items
+        else hand_over t here ~dst:(Queue.pop t.waiters) held)
+      | `At_dequeuer ->
+        Node.accept d;
+        deliver_local t here (Some item))
+
+let dequeue t node =
+  let me = Node.id node in
+  let gate = Ivar.create () in
+  Queue.add gate t.gates.(me);
+  let annotation =
+    match t.mode with
+    | Forwarding | No_forwarding -> Annotation.Request
+    | All_release -> Annotation.Release
+  in
+  Node.send node ~dst:t.manager ~annotation ~payload_bytes:16
+    ~handler:(fun manager_node d ->
+      Node.accept d;
+      if not (Queue.is_empty t.items) then
+        hand_over t manager_node ~dst:me (Queue.pop t.items)
+      else if t.closed then answer_closed t manager_node ~dst:me
+      else Queue.add me t.waiters);
+  Node.await node gate
+
+let close t node =
+  Node.send node ~dst:t.manager ~annotation:Annotation.None_ ~payload_bytes:8
+    ~handler:(fun manager_node d ->
+      Node.accept d;
+      t.closed <- true;
+      while not (Queue.is_empty t.waiters) do
+        answer_closed t manager_node ~dst:(Queue.pop t.waiters)
+      done)
+
+let length t = Queue.length t.items

@@ -1,0 +1,1 @@
+lib/dsm/cost.ml: Format

@@ -1,0 +1,1 @@
+lib/dsm/cost.mli: Format

@@ -1,0 +1,1 @@
+lib/dsm/interval.ml: Format List String Vc

@@ -1,0 +1,1 @@
+lib/dsm/interval.mli: Format Vc

@@ -1,0 +1,1 @@
+lib/dsm/lrc.ml: Array Bytes Carlos_sim Carlos_vm Cost Hashtbl Interval List Option Printf Vc

@@ -1,0 +1,1 @@
+lib/dsm/lrc.mli: Bytes Carlos_vm Cost Interval Vc

@@ -1,0 +1,1 @@
+lib/dsm/vc.ml: Array Format String

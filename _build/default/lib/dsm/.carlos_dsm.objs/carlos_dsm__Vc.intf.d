@@ -1,0 +1,1 @@
+lib/dsm/vc.mli: Format

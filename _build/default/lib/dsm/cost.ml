@@ -1,0 +1,73 @@
+type t = {
+  send_syscall : float;
+  recv_syscall : float;
+  handler_dispatch : float;
+  vc_piggyback : float;
+  release_fixed : float;
+  interval_create : float;
+  write_notice_apply : float;
+  page_protect : float;
+  fault_trap : float;
+  twin_per_byte : float;
+  diff_scan_per_byte : float;
+  diff_data_per_byte : float;
+  diff_request_fixed : float;
+}
+
+let us x = x *. 1e-6
+
+let default =
+  {
+    send_syscall = us 220.0;
+    recv_syscall = us 220.0;
+    handler_dispatch = us 25.0;
+    vc_piggyback = us 5.0;
+    release_fixed = us 30.0;
+    interval_create = us 15.0;
+    write_notice_apply = us 25.0;
+    page_protect = us 12.0;
+    fault_trap = us 60.0;
+    twin_per_byte = us 0.004; (* ~16 us to copy a 4 KB page *)
+    diff_scan_per_byte = us 0.006; (* ~25 us to scan a 4 KB page *)
+    diff_data_per_byte = us 0.008;
+    diff_request_fixed = us 40.0;
+  }
+
+(* TreadMarks' built-in synchronization avoids the generality of the
+   CarlOS active-message path: leaner dispatch and no annotation
+   processing.  Used for the paper's "unmodified applications on
+   TreadMarks vs on CarlOS" comparison (5-6% penalty on CarlOS). *)
+let treadmarks =
+  {
+    default with
+    send_syscall = us 200.0;
+    recv_syscall = us 200.0;
+    handler_dispatch = us 8.0;
+    release_fixed = us 20.0;
+  }
+
+let fast_network =
+  {
+    default with
+    send_syscall = us 4.0;
+    recv_syscall = us 4.0;
+    handler_dispatch = us 2.0;
+  }
+
+let pp ppf t =
+  let f name v = Format.fprintf ppf "%s = %.1f us@," name (v *. 1e6) in
+  Format.pp_open_vbox ppf 0;
+  f "send_syscall" t.send_syscall;
+  f "recv_syscall" t.recv_syscall;
+  f "handler_dispatch" t.handler_dispatch;
+  f "vc_piggyback" t.vc_piggyback;
+  f "release_fixed" t.release_fixed;
+  f "interval_create" t.interval_create;
+  f "write_notice_apply" t.write_notice_apply;
+  f "page_protect" t.page_protect;
+  f "fault_trap" t.fault_trap;
+  f "twin_per_byte" t.twin_per_byte;
+  f "diff_scan_per_byte" t.diff_scan_per_byte;
+  f "diff_data_per_byte" t.diff_data_per_byte;
+  f "diff_request_fixed" t.diff_request_fixed;
+  Format.pp_close_box ppf ()

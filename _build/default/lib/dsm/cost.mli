@@ -1,0 +1,40 @@
+(** Virtual-time cost model, calibrated to the paper's testbed (150 MHz
+    Alpha AXP, DEC OSF/1 v1.3, UDP/IP over 10 Mbit/s Ethernet).
+
+    All values are in seconds of virtual time.  The defaults reproduce the
+    per-operation costs the paper reports in §5.4 (e.g. ~30 µs extra for a
+    RELEASE message, 5–15 µs for vector-timestamp handling, tens of µs per
+    write notice); experiments may override any field, which is how the
+    "modern network" ablations are expressed. *)
+
+type t = {
+  (* Operating-system and messaging costs (the paper's "Unix" bucket). *)
+  send_syscall : float; (* UDP sendto + protocol stack, per message *)
+  recv_syscall : float; (* interrupt + recvfrom, per message *)
+  (* CarlOS message machinery (the "CarlOS" bucket). *)
+  handler_dispatch : float; (* active-message handler invocation *)
+  vc_piggyback : float; (* attach/strip a vector timestamp (REQUEST) *)
+  release_fixed : float; (* fixed extra work for a RELEASE message *)
+  interval_create : float; (* closing an interval, logging it *)
+  write_notice_apply : float; (* per write notice accepted *)
+  page_protect : float; (* one simulated mprotect call *)
+  fault_trap : float; (* SIGSEGV delivery + dispatch *)
+  twin_per_byte : float; (* twin creation memcpy, per byte *)
+  diff_scan_per_byte : float; (* page/twin comparison, per byte *)
+  diff_data_per_byte : float; (* encode/apply, per changed byte *)
+  diff_request_fixed : float; (* assembling/serving one diff request *)
+}
+
+(** Defaults described above. *)
+val default : t
+
+(** TreadMarks' leaner built-in message path (no active-message
+    generality), for the paper's TreadMarks-vs-CarlOS comparison. *)
+val treadmarks : t
+
+(** A cost table for a "modern" low-latency interconnect: messaging costs
+    cut by ~50x, memory-machinery costs kept — used by the §5.4/§6 ablation
+    arguing annotation choice matters more on fast networks. *)
+val fast_network : t
+
+val pp : Format.formatter -> t -> unit

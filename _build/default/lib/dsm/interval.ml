@@ -1,0 +1,21 @@
+type id = { creator : int; index : int }
+
+type t = { id : id; vc : Vc.t; write_notices : int list }
+
+let make ~creator ~index ~vc ~write_notices =
+  if index <= 0 then invalid_arg "Interval.make: index must be positive";
+  if Vc.get vc creator <> index then
+    invalid_arg "Interval.make: vc does not match index";
+  { id = { creator; index }; vc; write_notices }
+
+let size_bytes t = Vc.size_bytes t.vc + 4 + (4 * List.length t.write_notices)
+
+let causal_sort intervals =
+  let key i = (Vc.sum i.vc, i.id.creator, i.id.index) in
+  List.sort (fun a b -> compare (key a) (key b)) intervals
+
+let pp_id ppf { creator; index } = Format.fprintf ppf "%d.%d" creator index
+
+let pp ppf t =
+  Format.fprintf ppf "@[interval %a %a wn=[%s]@]" pp_id t.id Vc.pp t.vc
+    (String.concat ";" (List.map string_of_int t.write_notices))

@@ -1,0 +1,30 @@
+(** Intervals and write notices (paper §4.2).
+
+    The execution history of each node is divided into an indexed sequence
+    of intervals whose endpoints occur at release and acquire events.  Each
+    interval is summarized by a list of write notices, one for each page
+    modified in it. *)
+
+(** Globally unique interval identifier: [index] is the creator's [index]th
+    interval (the creator's vector-clock component at creation). *)
+type id = { creator : int; index : int }
+
+type t = {
+  id : id;
+  vc : Vc.t; (* creator's vector timestamp at creation *)
+  write_notices : int list; (* pages modified during the interval *)
+}
+
+val make : creator:int -> index:int -> vc:Vc.t -> write_notices:int list -> t
+
+(** Wire size of an interval description: the vector timestamp plus a 4-byte
+    id and 4 bytes per write notice. *)
+val size_bytes : t -> int
+
+(** Sort interval records into a linear extension of causal order
+    (ascending vector-clock sum, ties broken by creator then index). *)
+val causal_sort : t list -> t list
+
+val pp_id : Format.formatter -> id -> unit
+
+val pp : Format.formatter -> t -> unit

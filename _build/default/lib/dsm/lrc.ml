@@ -1,0 +1,881 @@
+module Page = Carlos_vm.Page
+module Page_table = Carlos_vm.Page_table
+module Diff = Carlos_vm.Diff
+module Ivar = Carlos_sim.Resource.Ivar
+
+exception Protocol_violation of string
+
+type strategy = Invalidate | Update | Hybrid_update
+
+type piggyback = {
+  origin : int;
+  required_vc : Vc.t;
+  intervals : Interval.t list;
+  nontransitive : bool;
+  attached_diffs : (int * Interval.id * Diff.t list) list;
+}
+
+type diff_request = (int * Interval.id list) list
+
+type diff_reply = (int * Interval.id * Diff.t list) list
+
+type page_reply = { data : Bytes.t; covers : Vc.t }
+
+type transport = {
+  fetch_diffs : dst:int -> diff_request -> diff_reply;
+  fetch_intervals : dst:int -> have:Vc.t -> Interval.t list;
+  fetch_page : dst:int -> page:int -> page_reply option;
+}
+
+type stats = {
+  mutable intervals_created : int;
+  mutable write_notices_sent : int;
+  mutable write_notices_applied : int;
+  mutable diffs_created : int;
+  mutable diffs_applied : int;
+  mutable diff_bytes_fetched : int;
+  mutable diff_requests : int;
+  mutable page_fetches : int;
+  mutable interval_fetches : int;
+  mutable twins_created : int;
+}
+
+type t = {
+  nodes : int;
+  me : int;
+  page_table : Page_table.t;
+  costs : Cost.t;
+  strategy : strategy;
+  charge : float -> unit;
+  vc : Vc.t;
+  (* Every interval description this node knows about; invariant: for every
+     node [c], contains (c, i) for all 1 <= i <= vc.(c). *)
+  log : (int * int, Interval.t) Hashtbl.t;
+  (* Diffs held locally (own creations and fetched copies), keyed by
+     (page, creator, index).  One flush can cover several closed intervals,
+     in which case the same diff is stored (aliased) under each of their
+     ids; a key maps to a list because a page can be flushed repeatedly
+     within one id's window, and the pieces apply in list order. *)
+  diffs : (int * int * int, Diff.t list) Hashtbl.t;
+  (* NOTE: with eager encoding at interval close, every write notice ever
+     published has its diff in [diffs] at the creator. *)
+  (* Pages written in the current (open) interval. *)
+  mutable dirty : int list;
+  dirty_set : (int, unit) Hashtbl.t;
+  (* Diffs encoded mid-interval (a write notice arrived for a locally
+     dirty page); they are published under the open interval's id once it
+     closes. *)
+  orphans : (int, Diff.t list) Hashtbl.t;
+  (* For each invalid page, the interval ids whose diffs must be applied. *)
+  missing : (int, Interval.id list) Hashtbl.t;
+  (* Per page, the least upper bound of the interval timestamps whose
+     writes are reflected in the local copy (own closes, applied diffs,
+     whole-page installs).  A whole-page install is only sound when the
+     server's copy covers at least this much. *)
+  page_vc : (int, Vc.t) Hashtbl.t;
+  (* Guards against concurrent fetches of the same page by several
+     fibers. *)
+  inflight : (int, unit Ivar.t) Hashtbl.t;
+  (* Conservative knowledge of each peer's vector timestamp, for tailoring
+     RELEASE piggybacks (a REQUEST piggybacks its sender's vc). *)
+  peer_vc : Vc.t array;
+  (* Update/hybrid strategies: per peer, the intervals whose diffs have
+     already been shipped eagerly.  Each diff goes to each peer at most
+     once; anything else is recovered by demand fetching. *)
+  attach_floor : Vc.t array;
+  mutable transport : transport option;
+  mutable diff_bytes_stored : int;
+  stats : stats;
+}
+
+let transport t =
+  match t.transport with
+  | Some tr -> tr
+  | None -> raise (Protocol_violation "Lrc: transport not installed")
+
+let find_interval t id =
+  match Hashtbl.find_opt t.log (id.Interval.creator, id.Interval.index) with
+  | Some i -> i
+  | None ->
+    raise
+      (Protocol_violation
+         (Printf.sprintf "interval %d.%d not in log" id.Interval.creator
+            id.Interval.index))
+
+(* ------------------------------------------------------------------ *)
+(* Local diff bookkeeping *)
+
+let store_diff t ~page ~(id : Interval.id) diff =
+  let key = (page, id.Interval.creator, id.Interval.index) in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.diffs key) in
+  Hashtbl.replace t.diffs key (existing @ [ diff ]);
+  t.diff_bytes_stored <- t.diff_bytes_stored + Diff.size_bytes diff
+
+(* Encode the modifications of a write-enabled page.  The twin always
+   snapshots the page as of the last interval close, so the diff contains
+   exactly the writes of the open interval. *)
+let encode_now t page =
+  let p = Page_table.page t.page_table page in
+  let page_size = Page_table.page_size t.page_table in
+  (* Encode before charging: charging yields the fiber, and a concurrent
+     write-notice arrival could flush (re-protect) the page under us. *)
+  let diff = Page.encode_diff p ~page_index:page in
+  t.stats.diffs_created <- t.stats.diffs_created + 1;
+  t.charge
+    ((t.costs.Cost.diff_scan_per_byte *. float_of_int page_size)
+    +. (t.costs.Cost.diff_data_per_byte
+       *. float_of_int (Diff.changed_bytes diff))
+    +. t.costs.Cost.page_protect);
+  diff
+
+(* A write notice arrived for a page the open interval is writing: encode
+   the modifications so they survive invalidation, and park the diff until
+   the open interval closes and gives it an id. *)
+let flush_page t page =
+  let p = Page_table.page t.page_table page in
+  match Page.state p with
+  | Page.Read_only | Page.Invalid -> ()
+  | Page.Read_write ->
+    let diff = encode_now t page in
+    let existing =
+      Option.value ~default:[] (Hashtbl.find_opt t.orphans page)
+    in
+    Hashtbl.replace t.orphans page (existing @ [ diff ])
+
+(* ------------------------------------------------------------------ *)
+(* Fault handling *)
+
+let write_fault t page =
+  let p = Page_table.page t.page_table page in
+  (* Mutate before charging: charging yields the fiber, and a concurrent
+     write-notice arrival could invalidate the page mid-fault. *)
+  Page.make_twin p;
+  t.stats.twins_created <- t.stats.twins_created + 1;
+  if not (Hashtbl.mem t.dirty_set page) then begin
+    Hashtbl.replace t.dirty_set page ();
+    t.dirty <- page :: t.dirty
+  end;
+  t.charge
+    (t.costs.Cost.fault_trap
+    +. (t.costs.Cost.twin_per_byte
+       *. float_of_int (Page_table.page_size t.page_table))
+    +. t.costs.Cost.page_protect)
+
+(* Record that the local copy of [page] now reflects the writes of
+   interval (creator, index).  Only the creator's component may be bumped:
+   an interval's full vector clock names history from other creators whose
+   writes to this page have NOT necessarily been applied here. *)
+let note_page_interval t page ~creator ~index =
+  match Hashtbl.find_opt t.page_vc page with
+  | None ->
+    let vc = Vc.zero ~nodes:t.nodes in
+    Vc.set vc creator index;
+    Hashtbl.replace t.page_vc page vc
+  | Some cur -> Vc.set cur creator (max (Vc.get cur creator) index)
+
+(* A whole-page install genuinely carries per-creator coverage. *)
+let note_page_content t page vc =
+  match Hashtbl.find_opt t.page_vc page with
+  | None -> Hashtbl.replace t.page_vc page (Vc.copy vc)
+  | Some cur -> Vc.join_in_place cur vc
+
+let page_content_vc t page ~nodes =
+  match Hashtbl.find_opt t.page_vc page with
+  | Some vc -> vc
+  | None -> Vc.zero ~nodes
+
+(* Try a whole-page fetch from the creator of the causally latest missing
+   interval; returns the ids still missing afterwards. *)
+let fetch_whole_page t page ids =
+  let latest =
+    List.fold_left
+      (fun acc id ->
+        let i = find_interval t id in
+        match acc with
+        | None -> Some i
+        | Some best ->
+          if Vc.sum i.Interval.vc > Vc.sum best.Interval.vc then Some i
+          else acc)
+      None ids
+  in
+  match latest with
+  | None -> ids
+  | Some target -> (
+    let dst = target.Interval.id.Interval.creator in
+    if dst = t.me then ids
+    else
+      match (transport t).fetch_page ~dst ~page with
+      | None -> ids
+      | Some { data; covers } ->
+        if
+          not
+            (Vc.dominates covers (page_content_vc t page ~nodes:t.nodes)
+            && Vc.dominates covers t.vc)
+        then
+          (* Installing could lose content this node's copy (or its
+             knowledge) already reflects; fall back to per-interval
+             diffs.  Requiring the server to dominate the full vector
+             clock is conservative but provably cannot clobber newer
+             bytes. *)
+          ids
+        else begin
+          t.stats.page_fetches <- t.stats.page_fetches + 1;
+          let p = Page_table.page t.page_table page in
+          Page.install p data;
+          Page.invalidate p;
+          note_page_content t page covers;
+          t.charge
+            (t.costs.Cost.twin_per_byte *. float_of_int (Bytes.length data));
+          (* Still-unpublished local writes (orphans of the open interval)
+             are newer than anything the server can have; restore them. *)
+          (match Hashtbl.find_opt t.orphans page with
+          | Some ds -> List.iter (fun d -> Page.apply_diff p d) ds
+          | None -> ());
+          (* An interval (c, k) is reflected in (or superseded within) the
+             server's copy exactly when the server had seen it, i.e. when
+             covers.(c) >= k.  Full vector-clock dominance would be wrong
+             here: unrelated components can make an old interval look
+             concurrent, and re-applying its diff over the installed copy
+             would clobber newer bytes. *)
+          List.filter
+            (fun (id : Interval.id) ->
+              id.Interval.index > Vc.get covers id.Interval.creator)
+            ids
+        end)
+
+(* Gather diffs for [ids]: serve from the local store where possible,
+   fetch the rest from their creators (blocking). *)
+let collect_diffs t page ids =
+  let have = Hashtbl.create 8 in
+  let missing_by_creator = Hashtbl.create 4 in
+  let creators_in_order = ref [] in
+  List.iter
+    (fun (id : Interval.id) ->
+      let key = (page, id.Interval.creator, id.Interval.index) in
+      match Hashtbl.find_opt t.diffs key with
+      | Some ds -> Hashtbl.replace have id ds
+      | None ->
+        if id.Interval.creator = t.me then
+          raise (Protocol_violation "own diff missing from store");
+        let creator = id.Interval.creator in
+        (match Hashtbl.find_opt missing_by_creator creator with
+        | None ->
+          Hashtbl.replace missing_by_creator creator [ id ];
+          creators_in_order := creator :: !creators_in_order
+        | Some cur -> Hashtbl.replace missing_by_creator creator (id :: cur)))
+    ids;
+  List.iter
+    (fun creator ->
+      let needed = List.rev (Hashtbl.find missing_by_creator creator) in
+      t.stats.diff_requests <- t.stats.diff_requests + 1;
+      let reply = (transport t).fetch_diffs ~dst:creator [ (page, needed) ] in
+      List.iter
+        (fun (reply_page, id, ds) ->
+          if reply_page <> page then
+            raise (Protocol_violation "diff reply for the wrong page");
+          List.iter
+            (fun d ->
+              t.stats.diff_bytes_fetched <-
+                t.stats.diff_bytes_fetched + Diff.size_bytes d;
+              store_diff t ~page ~id d)
+            ds;
+          Hashtbl.replace have id ds)
+        reply)
+    (List.rev !creators_in_order);
+  have
+
+let apply_diffs t page ids have =
+  let ordered =
+    List.sort
+      (fun (a : Interval.id) (b : Interval.id) ->
+        let va = (find_interval t a).Interval.vc
+        and vb = (find_interval t b).Interval.vc in
+        compare
+          (Vc.sum va, a.Interval.creator, a.Interval.index)
+          (Vc.sum vb, b.Interval.creator, b.Interval.index))
+      ids
+  in
+  let p = Page_table.page t.page_table page in
+  (* An aliased diff can be listed under several ids; apply each physical
+     diff once (applying again would be harmless but wasteful). *)
+  let applied = ref [] in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt have id with
+      | None -> raise (Protocol_violation "no diff collected for missing id")
+      | Some ds ->
+        List.iter
+          (fun d ->
+            if not (List.memq d !applied) then begin
+              applied := d :: !applied;
+              Page.apply_diff p d;
+              t.stats.diffs_applied <- t.stats.diffs_applied + 1;
+              t.charge
+                (t.costs.Cost.diff_data_per_byte
+                 *. float_of_int (Diff.changed_bytes d))
+            end)
+          ds;
+        note_page_interval t page ~creator:id.Interval.creator
+          ~index:id.Interval.index)
+    ordered
+
+(* Remove exactly [handled] from the page's missing set; validate the page
+   only if nothing new arrived while we were blocked. *)
+let finish_page t page ~handled =
+  let remaining =
+    match Hashtbl.find_opt t.missing page with
+    | None -> []
+    | Some ids -> List.filter (fun id -> not (List.mem id handled)) ids
+  in
+  if remaining = [] then begin
+    Hashtbl.remove t.missing page;
+    let p = Page_table.page t.page_table page in
+    if Page.state p = Page.Invalid then begin
+      Page.validate p;
+      t.charge t.costs.Cost.page_protect
+    end
+  end
+  else Hashtbl.replace t.missing page remaining
+
+let fetch_and_apply t page ids =
+  (* Ids the page content already reflects (e.g. a write notice that
+     arrived while a whole-page install covering it was in flight) must
+     not be re-fetched: their old diffs would clobber newer bytes. *)
+  let needed =
+    let content = page_content_vc t page ~nodes:t.nodes in
+    List.filter
+      (fun (id : Interval.id) ->
+        id.Interval.index > Vc.get content id.Interval.creator)
+      ids
+  in
+  (* Many missing intervals make a whole-page copy cheaper than diffs
+     (TreadMarks requests the page outright when it holds no copy; we
+     approximate with a count heuristic). *)
+  let remaining =
+    if List.length needed > 3 then fetch_whole_page t page needed else needed
+  in
+  (match remaining with
+  | [] -> ()
+  | _ ->
+    let have = collect_diffs t page remaining in
+    apply_diffs t page remaining have);
+  finish_page t page ~handled:ids
+
+(* Bring one invalid page up to date.  Loops because new write notices can
+   arrive while we block on the network. *)
+let rec validate_page t page =
+  match Hashtbl.find_opt t.inflight page with
+  | Some gate ->
+    Ivar.read gate;
+    validate_page_if_needed t page
+  | None -> (
+    match Hashtbl.find_opt t.missing page with
+    | None | Some [] ->
+      Hashtbl.remove t.missing page;
+      let p = Page_table.page t.page_table page in
+      if Page.state p = Page.Invalid then Page.validate p
+    | Some ids ->
+      let gate = Ivar.create () in
+      Hashtbl.replace t.inflight page gate;
+      let finish () =
+        Hashtbl.remove t.inflight page;
+        Ivar.fill gate ()
+      in
+      (try fetch_and_apply t page ids
+       with e ->
+         finish ();
+         raise e);
+      finish ();
+      validate_page_if_needed t page)
+
+and validate_page_if_needed t page =
+  let p = Page_table.page t.page_table page in
+  if Page.state p = Page.Invalid then validate_page t page
+
+let read_fault t page =
+  t.charge t.costs.Cost.fault_trap;
+  validate_page t page
+
+(* ------------------------------------------------------------------ *)
+
+let create ~nodes ~me ~page_table ~costs ~charge ?(strategy = Invalidate) () =
+  if me < 0 || me >= nodes then invalid_arg "Lrc.create: bad node id";
+  let t =
+    {
+      nodes;
+      me;
+      page_table;
+      costs;
+      strategy;
+      charge;
+      vc = Vc.zero ~nodes;
+      log = Hashtbl.create 256;
+      diffs = Hashtbl.create 256;
+      dirty = [];
+      dirty_set = Hashtbl.create 64;
+      orphans = Hashtbl.create 16;
+      missing = Hashtbl.create 64;
+      page_vc = Hashtbl.create 64;
+      inflight = Hashtbl.create 8;
+      peer_vc = Array.init nodes (fun _ -> Vc.zero ~nodes);
+      attach_floor = Array.init nodes (fun _ -> Vc.zero ~nodes);
+      transport = None;
+      diff_bytes_stored = 0;
+      stats =
+        {
+          intervals_created = 0;
+          write_notices_sent = 0;
+          write_notices_applied = 0;
+          diffs_created = 0;
+          diffs_applied = 0;
+          diff_bytes_fetched = 0;
+          diff_requests = 0;
+          page_fetches = 0;
+          interval_fetches = 0;
+          twins_created = 0;
+        };
+    }
+  in
+  Page_table.set_read_fault page_table (read_fault t);
+  Page_table.set_write_fault page_table (write_fault t);
+  t
+
+let set_transport t tr = t.transport <- Some tr
+
+let strategy t = t.strategy
+
+let me t = t.me
+
+let vc t = t.vc
+
+let stats t = t.stats
+
+let note_peer_vc t ~peer vc = Vc.join_in_place t.peer_vc.(peer) vc
+
+let known_peer_vc t ~peer = t.peer_vc.(peer)
+
+(* Close the open interval, if it wrote anything: assign the next index,
+   log the interval with one write notice per dirty page, and encode every
+   dirty page's diff eagerly so the page can be re-protected.  Eager
+   encoding keeps write notices precise — a page is advertised in exactly
+   the intervals that really wrote it, and a diff published under an
+   interval id contains exactly that interval's modifications, which the
+   causal apply order relies on. *)
+let close_interval t =
+  match t.dirty with
+  | [] -> ()
+  | pages ->
+    (* Snapshot and clear the dirty list before anything that can yield
+       the fiber (CPU charges block): a concurrent release from another
+       fiber of this node (e.g. the dispatcher granting a lock) must see
+       an empty open interval, not re-publish the same pages. *)
+    t.dirty <- [];
+    List.iter (fun page -> Hashtbl.remove t.dirty_set page) pages;
+    let index = Vc.tick t.vc ~me:t.me in
+    let interval =
+      Interval.make ~creator:t.me ~index ~vc:(Vc.copy t.vc)
+        ~write_notices:pages
+    in
+    Hashtbl.replace t.log (t.me, index) interval;
+    t.stats.intervals_created <- t.stats.intervals_created + 1;
+    t.stats.write_notices_sent <-
+      t.stats.write_notices_sent + List.length pages;
+    t.charge t.costs.Cost.interval_create;
+    let id = { Interval.creator = t.me; index } in
+    List.iter
+      (fun page ->
+        (* Diffs encoded mid-interval by write-notice arrivals... *)
+        (match Hashtbl.find_opt t.orphans page with
+        | Some ds ->
+          List.iter (fun d -> store_diff t ~page ~id d) ds;
+          Hashtbl.remove t.orphans page
+        | None -> ());
+        (* ...and the final state of the page if it is still writable. *)
+        let p = Page_table.page t.page_table page in
+        if Page.state p = Page.Read_write then
+          store_diff t ~page ~id (encode_now t page);
+        note_page_interval t page ~creator:t.me ~index)
+      pages
+
+(* Intervals the receiver (whose vc we conservatively know as [have]) is
+   missing, optionally restricted to locally created ones. *)
+let intervals_after t ~have ~own_only =
+  let collect creator acc =
+    if own_only && creator <> t.me then acc
+    else begin
+      let upto = Vc.get t.vc creator in
+      let rec loop idx acc =
+        if idx > upto then acc
+        else
+          match Hashtbl.find_opt t.log (creator, idx) with
+          | Some i -> loop (idx + 1) (i :: acc)
+          | None ->
+            raise
+              (Protocol_violation
+                 (Printf.sprintf "interval log gap at (%d,%d)" creator idx))
+      in
+      loop (Vc.get have creator + 1) acc
+    end
+  in
+  let rec nodes_loop c acc =
+    if c >= t.nodes then acc else nodes_loop (c + 1) (collect c acc)
+  in
+  Interval.causal_sort (nodes_loop 0 [])
+
+(* Diffs to ship eagerly with the given interval descriptions (update and
+   hybrid strategies, paper §4.3).  Only diffs this node actually holds
+   can be attached; missing ones fall back to demand fetching at the
+   receiver. *)
+let attachments_for t ~receiver intervals =
+  match t.strategy with
+  | Invalidate -> []
+  | Update | Hybrid_update ->
+    (* Ship each diff to each peer at most once (for a locally addressed
+       message that may be forwarded anywhere, once globally). *)
+    let floor =
+      if receiver = t.me then begin
+        let f = Vc.copy t.attach_floor.((t.me + 1) mod t.nodes) in
+        for p = 0 to t.nodes - 1 do
+          if p <> t.me then
+            for c = 0 to t.nodes - 1 do
+              if Vc.get t.attach_floor.(p) c < Vc.get f c then
+                Vc.set f c (Vc.get t.attach_floor.(p) c)
+            done
+        done;
+        f
+      end
+      else t.attach_floor.(receiver)
+    in
+    (* Bound the eager data per message; anything over the budget stays
+       demand-fetched (real update protocols bound their eagerness the
+       same way). *)
+    let budget = ref (16 * 1024) in
+    let shipped = ref [] in
+    let out =
+      List.concat_map
+        (fun (i : Interval.t) ->
+          let id = i.Interval.id in
+          if
+            (t.strategy = Hybrid_update && id.Interval.creator <> t.me)
+            || id.Interval.index <= Vc.get floor id.Interval.creator
+            || !budget <= 0
+          then []
+          else begin
+            let attached =
+              List.filter_map
+                (fun page ->
+                  match
+                    Hashtbl.find_opt t.diffs
+                      (page, id.Interval.creator, id.Interval.index)
+                  with
+                  | Some ds ->
+                    List.iter
+                      (fun d -> budget := !budget - Diff.size_bytes d)
+                      ds;
+                    Some (page, id, ds)
+                  | None -> None)
+                i.Interval.write_notices
+            in
+            if !budget >= 0 then begin
+              shipped := id :: !shipped;
+              attached
+            end
+            else begin
+              (* Over budget: drop this interval's attachments and stop. *)
+              budget := 0;
+              []
+            end
+          end)
+        intervals
+    in
+    let bump peer =
+      List.iter
+        (fun (id : Interval.id) ->
+          if
+            Vc.get t.attach_floor.(peer) id.Interval.creator
+            < id.Interval.index
+          then
+            Vc.set t.attach_floor.(peer) id.Interval.creator
+              id.Interval.index)
+        !shipped
+    in
+    if receiver = t.me then
+      for p = 0 to t.nodes - 1 do
+        if p <> t.me then bump p
+      done
+    else bump receiver;
+    out
+
+let make_piggyback t ~receiver ~nontransitive =
+  close_interval t;
+  let intervals =
+    if receiver = t.me then begin
+      (* A node is always consistent with itself, but a locally addressed
+         RELEASE (a manager enqueueing into its own work queue) is often
+         stored and forwarded later.  Tailor it for the least-informed
+         peer so the forwarded copy usually carries enough; a true gap is
+         still recovered through the fetch-from-origin path (§4.3). *)
+      if t.nodes = 1 then []
+      else begin
+        let first_peer = if t.me = 0 then 1 else 0 in
+        let floor = Vc.copy t.peer_vc.(first_peer) in
+        for p = 0 to t.nodes - 1 do
+          if p <> t.me then
+            for c = 0 to t.nodes - 1 do
+              if Vc.get t.peer_vc.(p) c < Vc.get floor c then
+                Vc.set floor c (Vc.get t.peer_vc.(p) c)
+            done
+        done;
+        intervals_after t ~have:floor ~own_only:nontransitive
+      end
+    end
+    else intervals_after t ~have:t.peer_vc.(receiver) ~own_only:nontransitive
+  in
+  {
+    origin = t.me;
+    required_vc = Vc.copy t.vc;
+    intervals;
+    nontransitive;
+    attached_diffs = attachments_for t ~receiver intervals;
+  }
+
+let piggyback_size_bytes pb =
+  Vc.size_bytes pb.required_vc + 1
+  + List.fold_left (fun acc i -> acc + Interval.size_bytes i) 0 pb.intervals
+  + List.fold_left
+      (fun acc (_, _, ds) ->
+        acc + 8 + List.fold_left (fun a d -> a + Diff.size_bytes d) 0 ds)
+      0 pb.attached_diffs
+
+(* Apply one interval's write notices, preserving local modifications by
+   flushing dirty pages to diffs first (the multiple-writer protocol).
+   Under the invalidation strategy the named pages become invalid; under
+   the update/hybrid strategies a page whose diff travelled with the
+   message and whose local copy is current stays valid ("pages to which a
+   'complete' set of diffs can be applied remain valid", §4.3). *)
+let apply_interval t ~attached interval =
+  let creator = interval.Interval.id.Interval.creator in
+  let index = interval.Interval.id.Interval.index in
+  if creator <> t.me then begin
+    List.iter
+      (fun page ->
+        t.stats.write_notices_applied <- t.stats.write_notices_applied + 1;
+        t.charge t.costs.Cost.write_notice_apply;
+        (* A whole-page install can leave the local copy ahead of the
+           vector clock; a write notice for an interval the content
+           already reflects must not re-invalidate the page (fetching its
+           old diff would clobber newer bytes). *)
+        if
+          index > Vc.get (page_content_vc t page ~nodes:t.nodes) creator
+        then begin
+          let p = Page_table.page t.page_table page in
+          let eager = Hashtbl.find_opt attached (page, creator, index) in
+          match (eager, Page.state p) with
+          | Some ds, (Page.Read_only | Page.Read_write) ->
+            (* Update path: the data came with the message and the local
+               copy is current, so apply in place and stay valid. *)
+            if Page.state p = Page.Read_write then flush_page t page;
+            List.iter
+              (fun d ->
+                Page.apply_diff p d;
+                t.stats.diffs_applied <- t.stats.diffs_applied + 1;
+                t.charge
+                  (t.costs.Cost.diff_data_per_byte
+                  *. float_of_int (Diff.changed_bytes d));
+                (* Cache the diff: this node can now serve it too. *)
+                store_diff t ~page ~id:interval.Interval.id d)
+              ds;
+            note_page_interval t page ~creator ~index
+          | eager, _ ->
+            (* Invalidation path (also taken when the local copy already
+               has gaps: an eagerly received diff cannot be applied onto
+               a stale base, so cache it for the later validation). *)
+            if Page.state p = Page.Read_write then flush_page t page;
+            if Page.state p <> Page.Invalid then begin
+              Page.invalidate p;
+              t.charge t.costs.Cost.page_protect
+            end;
+            (match eager with
+            | Some ds ->
+              List.iter
+                (fun d -> store_diff t ~page ~id:interval.Interval.id d)
+                ds
+            | None -> ());
+            let cur =
+              Option.value ~default:[] (Hashtbl.find_opt t.missing page)
+            in
+            if not (List.mem interval.Interval.id cur) then
+              Hashtbl.replace t.missing page (interval.Interval.id :: cur)
+        end)
+      interval.Interval.write_notices;
+    Vc.set t.vc creator (max (Vc.get t.vc creator) index)
+  end
+
+let log_interval t (i : Interval.t) =
+  let key = (i.Interval.id.Interval.creator, i.Interval.id.Interval.index) in
+  if not (Hashtbl.mem t.log key) then Hashtbl.replace t.log key i
+
+(* Find one interval gap between [t.vc] and [target] that the piggybacks
+   did not carry, and the origin to ask for it. *)
+let find_gap t ~target piggybacks =
+  let result = ref None in
+  (try
+     for c = 0 to t.nodes - 1 do
+       for idx = Vc.get t.vc c + 1 to Vc.get target c do
+         if not (Hashtbl.mem t.log (c, idx)) then begin
+           let origin =
+             List.find_map
+               (fun pb ->
+                 if Vc.get pb.required_vc c >= idx && pb.origin <> t.me then
+                   Some pb.origin
+                 else None)
+               piggybacks
+           in
+           (match origin with
+           | Some o -> result := Some o
+           | None ->
+             raise (Protocol_violation "interval gap with no origin to ask"));
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !result
+
+let accept t piggybacks =
+  (* 0. Index any eagerly shipped diffs (update/hybrid strategies). *)
+  let attached = Hashtbl.create 16 in
+  List.iter
+    (fun pb ->
+      List.iter
+        (fun (page, (id : Interval.id), ds) ->
+          Hashtbl.replace attached
+            (page, id.Interval.creator, id.Interval.index)
+            ds)
+        pb.attached_diffs)
+    piggybacks;
+  (* 1. Log every interval description carried by the messages. *)
+  List.iter (fun pb -> List.iter (log_interval t) pb.intervals) piggybacks;
+  (* 2. Union of the timestamps we must reach. *)
+  let target = Vc.copy t.vc in
+  List.iter (fun pb -> Vc.join_in_place target pb.required_vc) piggybacks;
+  (* 3. Fetch any interval descriptions the messages did not carry (the
+     RELEASE_NT incomplete-information path, paper §4.3). *)
+  let rec ensure_logged () =
+    match find_gap t ~target piggybacks with
+    | None -> ()
+    | Some origin ->
+      t.stats.interval_fetches <- t.stats.interval_fetches + 1;
+      let fetched = (transport t).fetch_intervals ~dst:origin ~have:t.vc in
+      List.iter (log_interval t) fetched;
+      ensure_logged ()
+  in
+  ensure_logged ();
+  (* 4. Apply all newly covered intervals in causal order. *)
+  let to_apply = ref [] in
+  for c = 0 to t.nodes - 1 do
+    if c <> t.me then
+      for idx = Vc.get t.vc c + 1 to Vc.get target c do
+        match Hashtbl.find_opt t.log (c, idx) with
+        | Some i -> to_apply := i :: !to_apply
+        | None -> raise (Protocol_violation "gap survived ensure_logged")
+      done
+  done;
+  List.iter (apply_interval t ~attached) (Interval.causal_sort !to_apply);
+  Vc.join_in_place t.vc target;
+  (* 5. Remember what the origins know. *)
+  List.iter
+    (fun pb ->
+      if pb.origin <> t.me then
+        Vc.join_in_place t.peer_vc.(pb.origin) pb.required_vc)
+    piggybacks
+
+(* ------------------------------------------------------------------ *)
+(* Serving (interrupt level, non-blocking) *)
+
+let serve_diffs t request =
+  t.charge t.costs.Cost.diff_request_fixed;
+  List.concat_map
+    (fun (page, ids) ->
+      List.map
+        (fun (id : Interval.id) ->
+          let key = (page, id.Interval.creator, id.Interval.index) in
+          match Hashtbl.find_opt t.diffs key with
+          | Some ds -> (page, id, ds)
+          | None ->
+            raise
+              (Protocol_violation
+                 (Printf.sprintf "diff (page %d, %d.%d) not available" page
+                    id.Interval.creator id.Interval.index)))
+        ids)
+    request
+
+let serve_intervals t ~have = intervals_after t ~have ~own_only:false
+
+let serve_page t ~page =
+  let p = Page_table.page t.page_table page in
+  match Page.state p with
+  | Page.Invalid -> None
+  | Page.Read_only | Page.Read_write ->
+    (* Serve the content as of the last interval boundary.  A write-enabled
+       page's live data would leak unreleased mid-interval writes into the
+       receiver's base copy, which byte-granular diffs can never correct
+       (a byte that changed and changed back is absent from the final
+       diff).  The covering timestamp must include the page's content
+       timestamp: after a whole-page install the content can run ahead of
+       this node's vector clock, and under-claiming would let the receiver
+       apply older diffs on top of newer bytes. *)
+    Some
+      {
+        data = Page.clean_snapshot p;
+        covers = Vc.join t.vc (page_content_vc t page ~nodes:t.nodes);
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Garbage collection support *)
+
+let metadata_pressure t = t.diff_bytes_stored + (32 * Hashtbl.length t.log)
+
+let validate_all t =
+  let rec loop () =
+    let pending = Hashtbl.fold (fun page _ acc -> page :: acc) t.missing [] in
+    match List.sort compare pending with
+    | [] -> ()
+    | pages ->
+      List.iter (fun page -> validate_page_if_needed t page) pages;
+      loop ()
+  in
+  loop ()
+
+let discard_before t snapshot =
+  (* Discarding is only legal after a global rendezvous in which every node
+     reached [snapshot]; record that knowledge so future piggybacks are
+     never asked to cover discarded history. *)
+  for peer = 0 to t.nodes - 1 do
+    Vc.join_in_place t.peer_vc.(peer) snapshot
+  done;
+  let keep_interval (i : Interval.t) =
+    not (Vc.dominates snapshot i.Interval.vc)
+  in
+  let discarded_keys =
+    Hashtbl.fold
+      (fun key i acc -> if keep_interval i then acc else key :: acc)
+      t.log []
+  in
+  List.iter (Hashtbl.remove t.log) discarded_keys;
+  let diff_keys =
+    Hashtbl.fold
+      (fun (page, creator, index) ds acc ->
+        if index <= Vc.get snapshot creator then
+          ((page, creator, index), ds) :: acc
+        else acc)
+      t.diffs []
+  in
+  List.iter
+    (fun (key, ds) ->
+      Hashtbl.remove t.diffs key;
+      List.iter
+        (fun d ->
+          t.diff_bytes_stored <- t.diff_bytes_stored - Diff.size_bytes d)
+        ds)
+    diff_keys

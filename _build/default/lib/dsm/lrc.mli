@@ -1,0 +1,169 @@
+(** Lazy release consistency engine (TreadMarks-style, paper §4.2).
+
+    One [Lrc.t] runs on each node.  It owns the node's vector timestamp,
+    interval log, write-notice bookkeeping and diff store, and it installs
+    itself as the fault handler of the node's page table.  It is a pure
+    protocol state machine: all communication goes through the {!transport}
+    callbacks installed by the messaging layer, and all processing time is
+    charged through the [charge] callback, so the engine itself is easy to
+    test in isolation.
+
+    Key protocol choices, matching the paper:
+    - multiple-writer protocol with twins and run-length-encoded diffs;
+    - write-notice application invalidates by default, with the paper's
+      update and hybrid strategies available (see {!strategy});
+    - intervals are closed when a RELEASE message is sent.  (TreadMarks
+      also opens a new interval at each acquire; closing lazily at the next
+      release publishes the same writes at the same release events and is
+      indistinguishable for data-race-free programs, while creating fewer
+      intervals.);
+    - diffs are encoded eagerly when an interval closes (and the page
+      re-protected), rather than on first request as in TreadMarks.  Eager
+      encoding keeps write notices precise: a diff published under an
+      interval id contains exactly that interval's writes, never stale
+      bytes republished under a newer id. *)
+
+type t
+
+exception Protocol_violation of string
+
+(** Coherence strategy (paper §4.3: "If an invalidation-based consistency
+    strategy is used, the interval descriptions contain only write
+    notices.  If an update or hybrid strategy is used, the message also
+    will contain a set of diffs.  Thus far, we have used only the
+    invalidation strategy in CarlOS." — this implementation provides all
+    three):
+
+    - [Invalidate]: write notices invalidate pages; diffs move on demand.
+    - [Update]: RELEASE piggybacks also carry the diffs of every interval
+      they describe (when the sender holds them); pages to which a
+      complete set of diffs can be applied remain valid.
+    - [Hybrid_update]: diffs are attached only for intervals created at
+      the sending node; third-party intervals invalidate as usual. *)
+type strategy = Invalidate | Update | Hybrid_update
+
+(** Consistency information appended to a RELEASE/RELEASE_NT message, or
+    returned by an interval fetch. *)
+type piggyback = {
+  origin : int; (* node that built the piggyback *)
+  required_vc : Vc.t;
+      (* minimum timestamp the acceptor must reach (paper §4.3) *)
+  intervals : Interval.t list; (* interval descriptions, causally sorted *)
+  nontransitive : bool; (* built for a RELEASE_NT message *)
+  attached_diffs : (int * Interval.id * Carlos_vm.Diff.t list) list;
+      (* update/hybrid strategies: eager data, same shape as a diff
+         reply *)
+}
+
+(** A diff request: for each page, the interval ids whose modifications are
+    needed.  Requests are addressed to the interval creator. *)
+type diff_request = (int * Interval.id list) list
+
+(** Per requested id, the diff pieces to apply in list order.  One physical
+    diff may be aliased under several ids when a single flush covered
+    several intervals. *)
+type diff_reply = (int * Interval.id * Carlos_vm.Diff.t list) list
+
+type page_reply = { data : Bytes.t; covers : Vc.t }
+
+type transport = {
+  fetch_diffs : dst:int -> diff_request -> diff_reply;
+      (** blocking RPC; the remote side answers with {!serve_diffs} *)
+  fetch_intervals : dst:int -> have:Vc.t -> Interval.t list;
+      (** blocking RPC; the remote side answers with {!serve_intervals} *)
+  fetch_page : dst:int -> page:int -> page_reply option;
+      (** blocking RPC; the remote side answers with {!serve_page} *)
+}
+
+(** [create ~nodes ~me ~page_table ~costs ~charge] — [charge dt] must
+    consume [dt] seconds of this node's CPU and account it to the
+    consistency-overhead bucket. *)
+val create :
+  nodes:int ->
+  me:int ->
+  page_table:Carlos_vm.Page_table.t ->
+  costs:Cost.t ->
+  charge:(float -> unit) ->
+  ?strategy:strategy ->
+  unit ->
+  t
+
+val strategy : t -> strategy
+
+val set_transport : t -> transport -> unit
+
+val me : t -> int
+
+(** The node's current vector timestamp (live value; do not mutate). *)
+val vc : t -> Vc.t
+
+(** {1 Peer knowledge} *)
+
+(** Record that [peer] is known to have reached at least [vc] (from a
+    REQUEST piggyback or a served fetch), so future RELEASEs to it can be
+    precisely tailored. *)
+val note_peer_vc : t -> peer:int -> Vc.t -> unit
+
+val known_peer_vc : t -> peer:int -> Vc.t
+
+(** {1 Release / acquire} *)
+
+(** Build the consistency information for a RELEASE ([nontransitive:false])
+    or RELEASE_NT ([nontransitive:true]) message to [receiver].  Closes the
+    current interval if it modified any pages.  A non-transitive piggyback
+    carries only intervals created locally. *)
+val make_piggyback : t -> receiver:int -> nontransitive:bool -> piggyback
+
+(** Perform the acquire side for one or more accepted messages (several
+    when a barrier manager accepts all stored arrivals at once, so that the
+    union of non-transitive contributions is complete).  Missing interval
+    descriptions are fetched from the piggyback origins; write notices are
+    applied (invalidating pages); the vector clock advances to cover every
+    [required_vc].  May block. *)
+val accept : t -> piggyback list -> unit
+
+(** Wire size of the consistency information. *)
+val piggyback_size_bytes : piggyback -> int
+
+(** {1 Serving remote requests (non-blocking, interrupt level)} *)
+
+val serve_diffs : t -> diff_request -> diff_reply
+
+val serve_intervals : t -> have:Vc.t -> Interval.t list
+
+(** [serve_page] answers with the full page copy if the local copy is
+    valid, along with the timestamp it covers; [None] if the local copy is
+    itself stale. *)
+val serve_page : t -> page:int -> page_reply option
+
+(** {1 Garbage collection support (paper §5.2 footnote)} *)
+
+(** Rough bytes of consistency metadata held (stored diffs + interval
+    log). *)
+val metadata_pressure : t -> int
+
+(** Bring every invalid page up to date (blocking; used by the global GC
+    rendezvous). *)
+val validate_all : t -> unit
+
+(** Discard interval records and diffs dominated by [snapshot].  Only safe
+    after a global rendezvous has made every node consistent with
+    [snapshot]. *)
+val discard_before : t -> Vc.t -> unit
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable intervals_created : int;
+  mutable write_notices_sent : int;
+  mutable write_notices_applied : int;
+  mutable diffs_created : int;
+  mutable diffs_applied : int;
+  mutable diff_bytes_fetched : int;
+  mutable diff_requests : int;
+  mutable page_fetches : int;
+  mutable interval_fetches : int;
+  mutable twins_created : int;
+}
+
+val stats : t -> stats

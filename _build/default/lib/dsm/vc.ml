@@ -1,0 +1,41 @@
+type t = int array
+
+let zero ~nodes =
+  if nodes <= 0 then invalid_arg "Vc.zero: nodes";
+  Array.make nodes 0
+
+let copy = Array.copy
+
+let nodes = Array.length
+
+let get t i = t.(i)
+
+let set t i v = t.(i) <- v
+
+let tick t ~me =
+  t.(me) <- t.(me) + 1;
+  t.(me)
+
+let join a b =
+  if Array.length a <> Array.length b then invalid_arg "Vc.join: size";
+  Array.init (Array.length a) (fun i -> max a.(i) b.(i))
+
+let join_in_place a b =
+  if Array.length a <> Array.length b then invalid_arg "Vc.join_in_place: size";
+  Array.iteri (fun i v -> if v > a.(i) then a.(i) <- v) b
+
+let dominates a b =
+  if Array.length a <> Array.length b then invalid_arg "Vc.dominates: size";
+  let ok = ref true in
+  Array.iteri (fun i v -> if a.(i) < v then ok := false) b;
+  !ok
+
+let equal a b = a = b
+
+let sum t = Array.fold_left ( + ) 0 t
+
+let size_bytes t = 2 * Array.length t
+
+let pp ppf t =
+  Format.fprintf ppf "<%s>"
+    (String.concat "," (Array.to_list (Array.map string_of_int t)))

@@ -1,0 +1,1 @@
+lib/net/datagram.ml: Carlos_sim Medium

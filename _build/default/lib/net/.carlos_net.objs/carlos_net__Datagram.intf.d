@@ -1,0 +1,1 @@
+lib/net/datagram.mli: Carlos_sim Medium

@@ -1,0 +1,1 @@
+lib/net/medium.ml: Array Carlos_sim Printf

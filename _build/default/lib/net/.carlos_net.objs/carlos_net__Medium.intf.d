@@ -1,0 +1,1 @@
+lib/net/medium.mli: Carlos_sim

@@ -1,0 +1,1 @@
+lib/net/sliding_window.ml: Array Carlos_sim Datagram Float Hashtbl Queue

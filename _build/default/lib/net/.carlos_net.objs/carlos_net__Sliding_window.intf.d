@@ -1,0 +1,1 @@
+lib/net/sliding_window.mli: Carlos_sim Datagram

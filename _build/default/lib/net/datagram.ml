@@ -1,0 +1,51 @@
+module Rng = Carlos_sim.Rng
+
+(* 14 (Ethernet) + 20 (IP) + 8 (UDP). *)
+let header_bytes = 42
+
+type 'a t = {
+  medium : 'a Medium.t;
+  loss : float;
+  rng : Rng.t option;
+  mutable sent : int;
+  mutable dropped : int;
+  mutable payload_bytes : int;
+}
+
+let create medium ?(loss = 0.0) ?rng () =
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Datagram.create: bad loss";
+  if loss > 0.0 && rng = None then
+    invalid_arg "Datagram.create: loss requires an rng";
+  { medium; loss; rng; sent = 0; dropped = 0; payload_bytes = 0 }
+
+let nodes t = Medium.nodes t.medium
+
+let set_handler t ~node handler =
+  Medium.set_handler t.medium ~node (fun ~src ~size v ->
+      handler ~src ~size:(size - header_bytes) v)
+
+let dropped t =
+  t.loss > 0.0
+  &&
+  match t.rng with
+  | Some rng -> Rng.flip rng ~p:t.loss
+  | None -> false
+
+let send t ~src ~dst ~payload_bytes v =
+  if payload_bytes < 0 then invalid_arg "Datagram.send: negative size";
+  t.sent <- t.sent + 1;
+  t.payload_bytes <- t.payload_bytes + payload_bytes;
+  if dropped t then t.dropped <- t.dropped + 1
+  else
+    Medium.send t.medium ~src ~dst ~size:(payload_bytes + header_bytes) v
+
+let datagrams_sent t = t.sent
+
+let datagrams_dropped t = t.dropped
+
+let payload_bytes_sent t = t.payload_bytes
+
+let reset_stats t =
+  t.sent <- 0;
+  t.dropped <- 0;
+  t.payload_bytes <- 0

@@ -1,0 +1,36 @@
+(** Unreliable datagram service (the UDP/IP stand-in).
+
+    Adds protocol headers to each frame and, optionally, seeded random frame
+    loss so the reliability layer above can be exercised.  Delivery order on
+    a loss-free segment follows the medium's FIFO wire, i.e. frames between
+    one (src, dst) pair never reorder; loss is the only failure mode, as on
+    a single Ethernet segment. *)
+
+type 'a t
+
+(** Ethernet + IP + UDP header bytes added to every frame. *)
+val header_bytes : int
+
+(** [create medium ~loss ~rng] : [loss] is the independent per-frame drop
+    probability (0.0 for a healthy segment).  [rng] is required when
+    [loss > 0]. *)
+val create :
+  'a Medium.t -> ?loss:float -> ?rng:Carlos_sim.Rng.t -> unit -> 'a t
+
+val nodes : 'a t -> int
+
+val set_handler :
+  'a t -> node:int -> (src:int -> size:int -> 'a -> unit) -> unit
+
+(** [send t ~src ~dst ~payload_bytes v] transmits one datagram.  The wire
+    frame is [payload_bytes + header_bytes] long; the handler sees
+    [size = payload_bytes]. *)
+val send : 'a t -> src:int -> dst:int -> payload_bytes:int -> 'a -> unit
+
+val datagrams_sent : 'a t -> int
+
+val datagrams_dropped : 'a t -> int
+
+val payload_bytes_sent : 'a t -> int
+
+val reset_stats : 'a t -> unit

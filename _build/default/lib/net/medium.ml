@@ -1,0 +1,69 @@
+module Engine = Carlos_sim.Engine
+module Resource = Carlos_sim.Resource
+
+type 'a handler = src:int -> size:int -> 'a -> unit
+
+type 'a t = {
+  engine : Engine.t;
+  node_count : int;
+  latency : float;
+  bandwidth : float;
+  wire : Resource.Fifo.t;
+  handlers : 'a handler option array;
+  mutable frames : int;
+  mutable bytes : int;
+  mutable busy_base : float;
+}
+
+let create engine ~nodes ~latency ~bandwidth =
+  if nodes <= 0 then invalid_arg "Medium.create: nodes must be positive";
+  if bandwidth <= 0.0 then invalid_arg "Medium.create: bandwidth must be positive";
+  {
+    engine;
+    node_count = nodes;
+    latency;
+    bandwidth;
+    wire = Resource.Fifo.create ();
+    handlers = Array.make nodes None;
+    frames = 0;
+    bytes = 0;
+    busy_base = 0.0;
+  }
+
+let nodes t = t.node_count
+
+let check_node t node =
+  if node < 0 || node >= t.node_count then
+    invalid_arg (Printf.sprintf "Medium: bad node %d" node)
+
+let set_handler t ~node handler =
+  check_node t node;
+  t.handlers.(node) <- Some handler
+
+let send t ~src ~dst ~size payload =
+  check_node t src;
+  check_node t dst;
+  if size <= 0 then invalid_arg "Medium.send: size must be positive";
+  t.frames <- t.frames + 1;
+  t.bytes <- t.bytes + size;
+  Engine.spawn t.engine (fun () ->
+      let transmit_time = float_of_int size /. t.bandwidth in
+      let _waited = Resource.Fifo.use t.wire transmit_time in
+      Engine.delay t.latency;
+      match t.handlers.(dst) with
+      | None -> ()
+      | Some handler -> handler ~src ~size payload)
+
+let frames_sent t = t.frames
+
+let bytes_sent t = t.bytes
+
+let wire_busy_time t = Resource.Fifo.busy_time t.wire -. t.busy_base
+
+let utilization t ~elapsed =
+  if elapsed <= 0.0 then 0.0 else wire_busy_time t /. elapsed
+
+let reset_stats t =
+  t.frames <- 0;
+  t.bytes <- 0;
+  t.busy_base <- Resource.Fifo.busy_time t.wire

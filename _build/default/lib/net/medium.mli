@@ -1,0 +1,47 @@
+(** Shared broadcast medium modelling the paper's isolated 10 Mbit/s
+    Ethernet segment.
+
+    All frames from all nodes serialize through one FIFO transmission
+    resource (CSMA contention is approximated by FIFO queueing, which is
+    accurate for a lightly-to-moderately loaded segment and deterministic).
+    A frame occupies the wire for [size / bandwidth] seconds and is then
+    delivered after a fixed propagation-plus-interrupt [latency].
+
+    The medium is polymorphic in the payload it carries; upper layers
+    (datagram service, sliding-window protocol) choose their own frame
+    types. *)
+
+type 'a t
+
+(** [create engine ~nodes ~latency ~bandwidth] builds a medium connecting
+    [nodes] stations.  [bandwidth] is in bytes per second; [latency] in
+    seconds covers propagation plus receive-side interrupt dispatch. *)
+val create :
+  Carlos_sim.Engine.t -> nodes:int -> latency:float -> bandwidth:float -> 'a t
+
+val nodes : 'a t -> int
+
+(** Install the receive upcall for a station.  The upcall runs in a fresh
+    fiber at delivery time and may block. *)
+val set_handler : 'a t -> node:int -> (src:int -> size:int -> 'a -> unit) -> unit
+
+(** [send t ~src ~dst ~size payload] queues a frame for transmission.
+    Non-blocking for the caller (the NIC DMAs the frame out); the frame
+    contends for the shared wire in FIFO order.  [size] is the full frame
+    size in bytes, headers included. *)
+val send : 'a t -> src:int -> dst:int -> size:int -> 'a -> unit
+
+(** {1 Statistics} *)
+
+val frames_sent : 'a t -> int
+
+val bytes_sent : 'a t -> int
+
+(** Cumulative virtual time the wire was busy transmitting. *)
+val wire_busy_time : 'a t -> float
+
+(** [utilization t ~elapsed] is the fraction of [elapsed] during which the
+    wire was transmitting. *)
+val utilization : 'a t -> elapsed:float -> float
+
+val reset_stats : 'a t -> unit

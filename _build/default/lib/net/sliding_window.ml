@@ -1,0 +1,210 @@
+module Engine = Carlos_sim.Engine
+
+type 'a frame =
+  | Data of { seq : int; payload_bytes : int; payload : 'a }
+  | Ack of { cumulative : int }
+
+let ack_bytes = 8
+
+(* Per ordered (src, dst) pair.  Sequence numbers are assigned when a
+   message first goes on the wire, so the [pending] queue (messages waiting
+   for the window to open) keeps FIFO order automatically. *)
+type 'a connection = {
+  (* Sender side. *)
+  mutable next_seq : int;
+  unacked : (int * int * 'a) Queue.t; (* seq, payload_bytes, payload *)
+  pending : (int * 'a) Queue.t; (* payload_bytes, payload *)
+  mutable timer_epoch : int; (* invalidates stale retransmit timers *)
+  (* Receiver side (indexed the same way from the peer's perspective). *)
+  mutable expected : int;
+  out_of_order : (int, int * 'a) Hashtbl.t;
+}
+
+type 'a handler = src:int -> size:int -> 'a -> unit
+
+type 'a t = {
+  engine : Engine.t;
+  datagram : 'a frame Datagram.t;
+  window : int;
+  rto : float;
+  connections : 'a connection array array; (* [src].[dst] *)
+  handlers : 'a handler option array;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable retransmitted : int;
+  mutable acks : int;
+}
+
+let make_connection () =
+  {
+    next_seq = 0;
+    unacked = Queue.create ();
+    pending = Queue.create ();
+    timer_epoch = 0;
+    expected = 0;
+    out_of_order = Hashtbl.create 8;
+  }
+
+let nodes t = Datagram.nodes t.datagram
+
+let conn t ~src ~dst = t.connections.(src).(dst)
+
+let transmit t ~src ~dst ~seq ~payload_bytes payload =
+  Datagram.send t.datagram ~src ~dst ~payload_bytes
+    (Data { seq; payload_bytes; payload })
+
+let send_ack t ~src ~dst ~cumulative =
+  t.acks <- t.acks + 1;
+  Datagram.send t.datagram ~src ~dst ~payload_bytes:ack_bytes
+    (Ack { cumulative })
+
+(* Arm (or re-arm) the retransmission timer for connection src->dst.
+   Each consecutive firing doubles the timeout (bounded), so a large
+   frame that simply needs longer than one RTO to cross the wire does not
+   trigger a retransmission storm. *)
+let rec arm_timer ?(backoff = 1.0) t ~src ~dst =
+  let c = conn t ~src ~dst in
+  c.timer_epoch <- c.timer_epoch + 1;
+  let epoch = c.timer_epoch in
+  Engine.at t.engine
+    ~time:(Engine.now t.engine +. (t.rto *. backoff))
+    (fun () ->
+      if c.timer_epoch = epoch && not (Queue.is_empty c.unacked) then begin
+        (* Go-back-N: retransmit every unacknowledged frame. *)
+        Queue.iter
+          (fun (seq, payload_bytes, payload) ->
+            t.retransmitted <- t.retransmitted + 1;
+            transmit t ~src ~dst ~seq ~payload_bytes payload)
+          c.unacked;
+        arm_timer ~backoff:(Float.min 64.0 (2.0 *. backoff)) t ~src ~dst
+      end)
+
+let disarm_timer c = c.timer_epoch <- c.timer_epoch + 1
+
+(* Put one message on the wire, assigning its sequence number. *)
+let launch t ~src ~dst ~payload_bytes payload =
+  let c = conn t ~src ~dst in
+  let seq = c.next_seq in
+  c.next_seq <- seq + 1;
+  Queue.add (seq, payload_bytes, payload) c.unacked;
+  transmit t ~src ~dst ~seq ~payload_bytes payload
+
+let send t ~src ~dst ~payload_bytes payload =
+  t.sent <- t.sent + 1;
+  let c = conn t ~src ~dst in
+  if Queue.length c.unacked < t.window && Queue.is_empty c.pending then begin
+    let was_idle = Queue.is_empty c.unacked in
+    launch t ~src ~dst ~payload_bytes payload;
+    if was_idle then arm_timer t ~src ~dst
+  end
+  else Queue.add (payload_bytes, payload) c.pending
+
+(* Ack from [dst] for the connection src->dst (we are the sender, [src]). *)
+let handle_ack t ~src ~dst ~cumulative =
+  let c = conn t ~src ~dst in
+  let advanced = ref false in
+  let rec drop () =
+    match Queue.peek_opt c.unacked with
+    | Some (seq, _, _) when seq <= cumulative ->
+      ignore (Queue.pop c.unacked);
+      advanced := true;
+      drop ()
+    | Some _ | None -> ()
+  in
+  drop ();
+  if !advanced then begin
+    (* Window opened: promote pending messages in FIFO order. *)
+    while
+      (not (Queue.is_empty c.pending)) && Queue.length c.unacked < t.window
+    do
+      let payload_bytes, payload = Queue.pop c.pending in
+      launch t ~src ~dst ~payload_bytes payload
+    done;
+    if Queue.is_empty c.unacked then disarm_timer c
+    else arm_timer t ~src ~dst
+  end
+
+let messages_sent t = t.sent
+
+let messages_delivered t = t.delivered
+
+let retransmissions t = t.retransmitted
+
+let acks_sent t = t.acks
+
+let reset_stats t =
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.retransmitted <- 0;
+  t.acks <- 0
+
+let deliver t ~node ~src ~payload_bytes payload =
+  t.delivered <- t.delivered + 1;
+  match t.handlers.(node) with
+  | None -> ()
+  | Some handler -> handler ~src ~size:payload_bytes payload
+
+(* Data frame from [src] arriving at [node]. *)
+let handle_data t ~node ~src ~seq ~payload_bytes payload =
+  (* Receiver state for the src->node connection lives in
+     connections.(src).(node). *)
+  let c = t.connections.(src).(node) in
+  if seq < c.expected then
+    (* Duplicate (a retransmission we already have): re-ack. *)
+    send_ack t ~src:node ~dst:src ~cumulative:(c.expected - 1)
+  else if seq = c.expected then begin
+    deliver t ~node ~src ~payload_bytes payload;
+    c.expected <- c.expected + 1;
+    (* Drain any buffered successors. *)
+    let rec drain () =
+      match Hashtbl.find_opt c.out_of_order c.expected with
+      | Some (bytes, p) ->
+        Hashtbl.remove c.out_of_order c.expected;
+        deliver t ~node ~src ~payload_bytes:bytes p;
+        c.expected <- c.expected + 1;
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    send_ack t ~src:node ~dst:src ~cumulative:(c.expected - 1)
+  end
+  else begin
+    if not (Hashtbl.mem c.out_of_order seq) then
+      Hashtbl.replace c.out_of_order seq (payload_bytes, payload);
+    send_ack t ~src:node ~dst:src ~cumulative:(c.expected - 1)
+  end
+
+let on_datagram t node ~src ~size:_ frame =
+  match frame with
+  | Data { seq; payload_bytes; payload } ->
+    handle_data t ~node ~src ~seq ~payload_bytes payload
+  | Ack { cumulative } ->
+    (* We (node) are the sender of the node->src connection. *)
+    handle_ack t ~src:node ~dst:src ~cumulative
+
+let create engine datagram ~window ~rto =
+  if window <= 0 then invalid_arg "Sliding_window.create: window";
+  if rto <= 0.0 then invalid_arg "Sliding_window.create: rto";
+  let n = Datagram.nodes datagram in
+  let t =
+    {
+      engine;
+      datagram;
+      window;
+      rto;
+      connections =
+        Array.init n (fun _ -> Array.init n (fun _ -> make_connection ()));
+      handlers = Array.make n None;
+      sent = 0;
+      delivered = 0;
+      retransmitted = 0;
+      acks = 0;
+    }
+  in
+  for node = 0 to n - 1 do
+    Datagram.set_handler datagram ~node (fun ~src ~size frame ->
+        on_datagram t node ~src ~size frame)
+  done;
+  t
+
+let set_handler t ~node handler = t.handlers.(node) <- Some handler

@@ -1,0 +1,50 @@
+(** Reliable, in-order message delivery over the unreliable datagram
+    service — the sliding-window protocol CarlOS layers over UDP/IP
+    (paper §4.3).
+
+    Every ordered pair of nodes is an independent connection with its own
+    sequence space.  The receiver delivers each message exactly once, in
+    send order; cumulative acknowledgements and go-back-N retransmission
+    recover from datagram loss.  The in-order guarantee per pair is what
+    the hybrid Water application relies on for atomic remote updates
+    (paper §5.3). *)
+
+(** Wire frames exchanged by the protocol.  Exposed so callers can
+    instantiate the underlying medium/datagram layers at this type. *)
+type 'a frame
+
+type 'a t
+
+(** [create engine datagram ~window ~rto] — [window] is the maximum number
+    of unacknowledged messages per connection; [rto] the retransmission
+    timeout in seconds. *)
+val create :
+  Carlos_sim.Engine.t ->
+  'a frame Datagram.t ->
+  window:int ->
+  rto:float ->
+  'a t
+
+val nodes : 'a t -> int
+
+(** Reliable asynchronous send.  Returns immediately; delivery happens at
+    some later virtual time. *)
+val send : 'a t -> src:int -> dst:int -> payload_bytes:int -> 'a -> unit
+
+(** Install the in-order delivery upcall for a node.  The upcall is invoked
+    once per message; it runs at interrupt level and must not block (spawn a
+    fiber for any blocking work). *)
+val set_handler :
+  'a t -> node:int -> (src:int -> size:int -> 'a -> unit) -> unit
+
+(** {1 Statistics} *)
+
+val messages_sent : 'a t -> int
+
+val messages_delivered : 'a t -> int
+
+val retransmissions : 'a t -> int
+
+val acks_sent : 'a t -> int
+
+val reset_stats : 'a t -> unit

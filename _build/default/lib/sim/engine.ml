@@ -1,0 +1,109 @@
+type t = {
+  mutable clock : float;
+  queue : (unit -> unit) Heap.t;
+  mutable next_seq : int;
+  mutable executed : int;
+  mutable failure : exn option;
+}
+
+type _ Effect.t +=
+  | Delay : (t * float) -> unit Effect.t
+  | Time : float Effect.t
+  | Fork : (unit -> unit) -> unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+(* The engine currently executing; used only to give fiber-level operations
+   ([delay], [time], ...) an implicit engine argument.  The simulator is
+   single-domain, so a plain ref is safe. *)
+let current : t option ref = ref None
+
+let create () =
+  { clock = 0.0; queue = Heap.create (); next_seq = 0; executed = 0;
+    failure = None }
+
+let now t = t.clock
+
+let events_executed t = t.executed
+
+let schedule t ~time thunk =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %g is before now %g" time t.clock);
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.add t.queue ~time ~seq thunk
+
+let at t ~time f = schedule t ~time f
+
+(* Runs [f] as a fiber body under the effect handler that implements the
+   blocking operations.  Continuations are always resumed via the event
+   queue so that fibers only ever run from the engine loop. *)
+let rec start_fiber eng f =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc =
+        (fun e -> if eng.failure = None then eng.failure <- Some e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay (t, dt) ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                if dt < 0.0 then
+                  discontinue k (Invalid_argument "Engine.delay: negative")
+                else
+                  schedule t ~time:(t.clock +. dt) (fun () -> continue k ()))
+          | Time -> Some (fun k -> continue k eng.clock)
+          | Fork g ->
+            Some
+              (fun k ->
+                schedule eng ~time:eng.clock (fun () -> start_fiber eng g);
+                continue k ())
+          | Suspend register ->
+            Some
+              (fun k ->
+                let resumed = ref false in
+                let resume () =
+                  if !resumed then
+                    invalid_arg "Engine.suspend: resume invoked twice";
+                  resumed := true;
+                  schedule eng ~time:eng.clock (fun () -> continue k ())
+                in
+                register resume)
+          | _ -> None);
+    }
+
+let spawn t f = schedule t ~time:t.clock (fun () -> start_fiber t f)
+
+let run t =
+  let saved = !current in
+  current := Some t;
+  let finish () = current := saved in
+  let rec loop () =
+    match t.failure with
+    | Some e ->
+      finish ();
+      raise e
+    | None -> (
+      match Heap.pop_min t.queue with
+      | None -> finish ()
+      | Some (time, _, thunk) ->
+        t.clock <- time;
+        t.executed <- t.executed + 1;
+        thunk ();
+        loop ())
+  in
+  loop ()
+
+let delay dt =
+  match !current with
+  | None -> invalid_arg "Engine.delay: not inside a running engine"
+  | Some eng -> Effect.perform (Delay (eng, dt))
+
+let time () = Effect.perform Time
+
+let fork f = Effect.perform (Fork f)
+
+let suspend register = Effect.perform (Suspend register)

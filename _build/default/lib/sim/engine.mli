@@ -1,0 +1,48 @@
+(** Deterministic discrete-event simulation engine with cooperative fibers.
+
+    The engine owns a virtual clock and an event queue.  Code running inside
+    the engine is organized as {e fibers}: lightweight cooperative threads
+    implemented with OCaml effect handlers, so that protocol and application
+    code can be written in direct style ([delay], blocking receives, RPCs)
+    while the engine interleaves them deterministically in virtual time.
+
+    Ties between simultaneous events are broken by a global sequence number,
+    so a given program always produces the same schedule. *)
+
+type t
+
+val create : unit -> t
+
+(** Current virtual time, in seconds. *)
+val now : t -> float
+
+(** Number of events executed so far (diagnostic). *)
+val events_executed : t -> int
+
+(** [spawn t f] schedules fiber [f] to start at the current virtual time. *)
+val spawn : t -> (unit -> unit) -> unit
+
+(** [at t ~time f] runs callback [f] (not a fiber; it must not block) at
+    virtual time [time].  [time] must not be in the past. *)
+val at : t -> time:float -> (unit -> unit) -> unit
+
+(** Run until the event queue drains.  If any fiber raised, the first such
+    exception is re-raised here after the queue stops. *)
+val run : t -> unit
+
+(** {1 Operations available inside a fiber} *)
+
+(** Advance this fiber's virtual time by [dt] seconds (dt >= 0). *)
+val delay : float -> unit
+
+(** Virtual time as seen from inside a fiber. *)
+val time : unit -> float
+
+(** Start a sibling fiber from inside a fiber. *)
+val fork : (unit -> unit) -> unit
+
+(** [suspend register] parks the calling fiber.  [register] receives a
+    [resume] thunk that, when invoked (from any other fiber or callback),
+    reschedules the parked fiber at the then-current virtual time.  Invoking
+    [resume] more than once is an error. *)
+val suspend : ((unit -> unit) -> unit) -> unit

@@ -1,0 +1,69 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let size h = h.len
+
+let is_empty h = h.len = 0
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h entry =
+  let cap = Array.length h.data in
+  if h.len = cap then begin
+    let cap' = if cap = 0 then 16 else cap * 2 in
+    let data' = Array.make cap' entry in
+    Array.blit h.data 0 data' 0 h.len;
+    h.data <- data'
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt h.data.(i) h.data.(parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.len && lt h.data.(left) h.data.(!smallest) then smallest := left;
+  if right < h.len && lt h.data.(right) h.data.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let add h ~time ~seq value =
+  let entry = { time; seq; value } in
+  grow h entry;
+  h.data.(h.len) <- entry;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let min_key h =
+  if h.len = 0 then None
+  else
+    let e = h.data.(0) in
+    Some (e.time, e.seq)
+
+let pop_min h =
+  if h.len = 0 then None
+  else begin
+    let e = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some (e.time, e.seq, e.value)
+  end

@@ -1,0 +1,23 @@
+(** Binary min-heap keyed by [(time, seq)] pairs.
+
+    The heap is the event queue of the simulation engine.  Keys are compared
+    lexicographically: earlier virtual time first, and among simultaneous
+    events the lower sequence number first, which gives the engine a total,
+    deterministic order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [add h ~time ~seq v] inserts [v] with key [(time, seq)]. *)
+val add : 'a t -> time:float -> seq:int -> 'a -> unit
+
+(** Smallest key currently in the heap, if any. *)
+val min_key : 'a t -> (float * int) option
+
+(** Remove and return the entry with the smallest key. *)
+val pop_min : 'a t -> (float * int * 'a) option

@@ -1,0 +1,126 @@
+module Ivar = struct
+  type 'a state = Empty of (unit -> unit) Queue.t | Full of 'a
+
+  type 'a t = { mutable state : 'a state }
+
+  let create () = { state = Empty (Queue.create ()) }
+
+  let fill t v =
+    match t.state with
+    | Full _ -> invalid_arg "Ivar.fill: already filled"
+    | Empty waiters ->
+      t.state <- Full v;
+      Queue.iter (fun resume -> resume ()) waiters
+
+  let is_filled t = match t.state with Full _ -> true | Empty _ -> false
+
+  let read t =
+    match t.state with
+    | Full v -> v
+    | Empty waiters ->
+      Engine.suspend (fun resume -> Queue.add resume waiters);
+      (match t.state with
+      | Full v -> v
+      | Empty _ -> assert false)
+end
+
+module Mailbox = struct
+  type 'a t = {
+    messages : 'a Queue.t;
+    receivers : (unit -> unit) Queue.t;
+  }
+
+  let create () = { messages = Queue.create (); receivers = Queue.create () }
+
+  let send t v =
+    Queue.add v t.messages;
+    if not (Queue.is_empty t.receivers) then (Queue.pop t.receivers) ()
+
+  let rec recv t =
+    if Queue.is_empty t.messages then begin
+      Engine.suspend (fun resume -> Queue.add resume t.receivers);
+      (* A competing receiver woken at the same instant may have consumed
+         the message; loop until we actually get one. *)
+      recv t
+    end
+    else Queue.pop t.messages
+
+  let length t = Queue.length t.messages
+end
+
+module Fifo = struct
+  type t = {
+    mutable held : bool;
+    waiters : (unit -> unit) Queue.t;
+    mutable busy : float;
+    mutable acquired_at : float;
+  }
+
+  let create () =
+    { held = false; waiters = Queue.create (); busy = 0.0; acquired_at = 0.0 }
+
+  let acquire t =
+    if not t.held then begin
+      t.held <- true;
+      t.acquired_at <- Engine.time ()
+    end
+    else begin
+      Engine.suspend (fun resume -> Queue.add resume t.waiters);
+      (* Ownership was handed to us by [release]. *)
+      t.acquired_at <- Engine.time ()
+    end
+
+  let release t =
+    if not t.held then invalid_arg "Fifo.release: not held";
+    t.busy <- t.busy +. (Engine.time () -. t.acquired_at);
+    t.acquired_at <- Engine.time ();
+    if Queue.is_empty t.waiters then t.held <- false
+    else (Queue.pop t.waiters) ()
+
+  let use t dt =
+    let requested = Engine.time () in
+    acquire t;
+    let waited = Engine.time () -. requested in
+    Engine.delay dt;
+    release t;
+    waited
+
+  let busy_time t = t.busy
+end
+
+module Semaphore = struct
+  type t = { mutable count : int; waiters : (unit -> unit) Queue.t }
+
+  let create count =
+    if count < 0 then invalid_arg "Semaphore.create: negative";
+    { count; waiters = Queue.create () }
+
+  let wait t =
+    if t.count > 0 then t.count <- t.count - 1
+    else Engine.suspend (fun resume -> Queue.add resume t.waiters)
+
+  let signal t =
+    if Queue.is_empty t.waiters then t.count <- t.count + 1
+    else (Queue.pop t.waiters) ()
+
+  let value t = t.count
+end
+
+module Gate = struct
+  type t = { mutable opened : bool; waiters : (unit -> unit) Queue.t }
+
+  let create () = { opened = false; waiters = Queue.create () }
+
+  let await t =
+    if not t.opened then
+      Engine.suspend (fun resume -> Queue.add resume t.waiters)
+
+  let open_gate t =
+    if not t.opened then begin
+      t.opened <- true;
+      Queue.iter (fun resume -> resume ()) t.waiters;
+      Queue.clear t.waiters
+    end
+
+  let is_open t = t.opened
+end

@@ -1,0 +1,83 @@
+(** Virtual-time coordination primitives for fibers.
+
+    All blocking operations must be called from inside a fiber of a running
+    {!Engine.t}; wake-ups reschedule the blocked fiber at the then-current
+    virtual time. *)
+
+(** Write-once cell: the building block for simulated RPC replies. *)
+module Ivar : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  (** Fill the cell and wake all readers.  Raises [Invalid_argument] if
+      already filled. *)
+  val fill : 'a t -> 'a -> unit
+
+  val is_filled : 'a t -> bool
+
+  (** Block until filled, then return the value.  Returns immediately if
+      already filled. *)
+  val read : 'a t -> 'a
+end
+
+(** Unbounded FIFO mailbox. *)
+module Mailbox : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val send : 'a t -> 'a -> unit
+
+  (** Block until a message is available; messages are delivered in FIFO
+      order, one per blocked receiver, in the order receivers arrived. *)
+  val recv : 'a t -> 'a
+
+  val length : 'a t -> int
+end
+
+(** FIFO mutual-exclusion resource: models a serially reusable device such
+    as a node CPU or the shared network medium. *)
+module Fifo : sig
+  type t
+
+  val create : unit -> t
+
+  val acquire : t -> unit
+
+  val release : t -> unit
+
+  (** [use t dt] acquires, holds the resource for [dt] virtual seconds, and
+      releases.  Returns the time spent waiting for the resource. *)
+  val use : t -> float -> float
+
+  (** Cumulative virtual time during which the resource was held. *)
+  val busy_time : t -> float
+end
+
+(** Counting semaphore with FIFO wake order. *)
+module Semaphore : sig
+  type t
+
+  val create : int -> t
+
+  val wait : t -> unit
+
+  val signal : t -> unit
+
+  val value : t -> int
+end
+
+(** Broadcast gate: fibers block on [await] until [open_gate] is called;
+    afterwards [await] never blocks. *)
+module Gate : sig
+  type t
+
+  val create : unit -> t
+
+  val await : t -> unit
+
+  val open_gate : t -> unit
+
+  val is_open : t -> bool
+end

@@ -1,0 +1,22 @@
+type event = { time : float; node : int; tag : string; detail : string }
+
+type t = { mutable on : bool; mutable log : event list }
+
+let create ?(enabled = false) () = { on = enabled; log = [] }
+
+let enabled t = t.on
+
+let set_enabled t b = t.on <- b
+
+let record t ~time ~node ~tag ~detail =
+  if t.on then t.log <- { time; node; tag; detail } :: t.log
+
+let events t = List.rev t.log
+
+let events_with_tag t tag =
+  List.filter (fun e -> String.equal e.tag tag) (events t)
+
+let clear t = t.log <- []
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%.6f] n%d %s: %s" e.time e.node e.tag e.detail

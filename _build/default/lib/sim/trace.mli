@@ -1,0 +1,28 @@
+(** Lightweight structured event trace.
+
+    Tracing is off by default and costs one branch per event when disabled.
+    Used by tests to assert on protocol event orderings and by the CLI's
+    [--trace] flag. *)
+
+type t
+
+type event = { time : float; node : int; tag : string; detail : string }
+
+val create : ?enabled:bool -> unit -> t
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+
+(** Record an event at virtual time [time] (pass [Engine.now]). *)
+val record : t -> time:float -> node:int -> tag:string -> detail:string -> unit
+
+(** All recorded events, oldest first. *)
+val events : t -> event list
+
+(** Events whose [tag] equals the argument, oldest first. *)
+val events_with_tag : t -> string -> event list
+
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,1 @@
+lib/vm/alloc.ml: List

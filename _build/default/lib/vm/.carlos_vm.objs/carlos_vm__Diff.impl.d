@@ -1,0 +1,1 @@
+lib/vm/diff.ml: Bytes Format List

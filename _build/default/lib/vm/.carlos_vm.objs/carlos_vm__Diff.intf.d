@@ -1,0 +1,1 @@
+lib/vm/diff.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/vm/shm.ml: Bytes Char Int32 Int64 Page Page_table Printf Region

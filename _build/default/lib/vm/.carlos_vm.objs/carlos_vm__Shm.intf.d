@@ -1,0 +1,1 @@
+lib/vm/shm.mli: Bytes Page_table Region

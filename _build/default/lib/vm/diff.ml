@@ -1,0 +1,61 @@
+type run = { offset : int; data : Bytes.t }
+
+type t = { page : int; runs : run list }
+
+let header_bytes = 8
+
+let run_descriptor_bytes = 4
+
+let create ~page ~twin ~current =
+  let len = Bytes.length twin in
+  if Bytes.length current <> len then
+    invalid_arg "Diff.create: twin and current differ in length";
+  (* Single left-to-right scan collecting maximal differing runs. *)
+  let runs = ref [] in
+  let i = ref 0 in
+  while !i < len do
+    if Bytes.unsafe_get twin !i <> Bytes.unsafe_get current !i then begin
+      let start = !i in
+      while
+        !i < len && Bytes.unsafe_get twin !i <> Bytes.unsafe_get current !i
+      do
+        incr i
+      done;
+      let data = Bytes.sub current start (!i - start) in
+      runs := { offset = start; data } :: !runs
+    end
+    else incr i
+  done;
+  { page; runs = List.rev !runs }
+
+let page t = t.page
+
+let runs t = t.runs
+
+let is_empty t = t.runs = []
+
+let apply t target =
+  let len = Bytes.length target in
+  let apply_run r =
+    if r.offset < 0 || r.offset + Bytes.length r.data > len then
+      invalid_arg "Diff.apply: run out of bounds";
+    Bytes.blit r.data 0 target r.offset (Bytes.length r.data)
+  in
+  List.iter apply_run t.runs
+
+let changed_bytes t =
+  List.fold_left (fun acc r -> acc + Bytes.length r.data) 0 t.runs
+
+let size_bytes t =
+  header_bytes
+  + List.fold_left
+      (fun acc r -> acc + run_descriptor_bytes + Bytes.length r.data)
+      0 t.runs
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>diff(page %d:" t.page;
+  List.iter
+    (fun r -> Format.fprintf ppf " [%d..%d)" r.offset
+        (r.offset + Bytes.length r.data))
+    t.runs;
+  Format.fprintf ppf ")@]"

@@ -1,0 +1,34 @@
+(** Run-length encoded page diffs (paper §4.2).
+
+    A diff records the byte ranges of a page that changed relative to its
+    twin, as a list of [(offset, bytes)] runs.  Applying a diff overwrites
+    exactly those ranges, so applying the same diff twice is idempotent and
+    diffs from concurrent writers to disjoint ranges commute — the property
+    the multiple-writer protocol relies on. *)
+
+type run = { offset : int; data : Bytes.t }
+
+type t
+
+(** [create ~page ~twin ~current] encodes the differences of [current]
+    relative to [twin].  Both must have equal length. *)
+val create : page:int -> twin:Bytes.t -> current:Bytes.t -> t
+
+(** Which coherent page this diff describes. *)
+val page : t -> int
+
+val runs : t -> run list
+
+val is_empty : t -> bool
+
+(** Overwrite the changed ranges of [target] with the diff's data. *)
+val apply : t -> Bytes.t -> unit
+
+(** Wire size in bytes: a small header plus, per run, a 4-byte descriptor
+    and the run data. *)
+val size_bytes : t -> int
+
+(** Total number of changed bytes carried. *)
+val changed_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

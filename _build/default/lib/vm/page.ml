@@ -1,0 +1,59 @@
+type state = Invalid | Read_only | Read_write
+
+type t = {
+  data : Bytes.t;
+  mutable state : state;
+  mutable twin : Bytes.t option;
+}
+
+let create ~size =
+  if size <= 0 then invalid_arg "Page.create: size";
+  { data = Bytes.make size '\000'; state = Read_only; twin = None }
+
+let state t = t.state
+
+let data t = t.data
+
+let clean_snapshot t =
+  match (t.state, t.twin) with
+  | Read_write, Some twin -> Bytes.copy twin
+  | Read_write, None -> assert false
+  | (Read_only | Invalid), _ -> Bytes.copy t.data
+
+let make_twin t =
+  match t.state with
+  | Read_only ->
+    t.twin <- Some (Bytes.copy t.data);
+    t.state <- Read_write
+  | Invalid -> invalid_arg "Page.make_twin: page is invalid"
+  | Read_write -> invalid_arg "Page.make_twin: twin already exists"
+
+let encode_diff t ~page_index =
+  match (t.state, t.twin) with
+  | Read_write, Some twin ->
+    let diff = Diff.create ~page:page_index ~twin ~current:t.data in
+    t.twin <- None;
+    t.state <- Read_only;
+    diff
+  | Read_write, None -> assert false
+  | (Invalid | Read_only), _ ->
+    invalid_arg "Page.encode_diff: page not in write mode"
+
+let invalidate t =
+  match t.state with
+  | Read_write -> invalid_arg "Page.invalidate: encode the diff first"
+  | Invalid | Read_only -> t.state <- Invalid
+
+let apply_diff t diff = Diff.apply diff t.data
+
+let install t bytes =
+  if Bytes.length bytes <> Bytes.length t.data then
+    invalid_arg "Page.install: size mismatch";
+  Bytes.blit bytes 0 t.data 0 (Bytes.length bytes);
+  t.twin <- None;
+  t.state <- Read_only
+
+let validate t =
+  match t.state with
+  | Invalid -> t.state <- Read_only
+  | Read_only | Read_write -> invalid_arg "Page.validate: page not invalid"

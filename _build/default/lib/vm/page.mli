@@ -1,0 +1,50 @@
+(** A single coherent page frame on one node.
+
+    State machine (mirrors the mprotect-based states of TreadMarks):
+
+    - [Invalid]: the local copy is stale; a read or write access must first
+      bring it up to date (apply missing diffs or fetch the page).
+    - [Read_only]: the local copy is current and clean ("all clean shared
+      pages are marked read-only"); a write access traps.
+    - [Read_write]: the page has been written locally since the last diff;
+      a {e twin} snapshot exists for later diffing. *)
+
+type state = Invalid | Read_only | Read_write
+
+type t
+
+(** Fresh zero-filled page in [Read_only] state. *)
+val create : size:int -> t
+
+val state : t -> state
+
+val data : t -> Bytes.t
+
+(** The page content as of the last interval boundary: the twin when the
+    page is write-enabled (excluding unreleased modifications), the data
+    otherwise.  This is the only sound base to hand to another node —
+    run-length diffs assume the receiver's copy matches the writer's twin
+    on unchanged bytes. *)
+val clean_snapshot : t -> Bytes.t
+
+(** Snapshot the current contents as the twin and move to [Read_write].
+    Only legal from [Read_only]. *)
+val make_twin : t -> unit
+
+(** Encode modifications relative to the twin, drop the twin and return to
+    [Read_only] (paper §4.2: "the twin is removed, and the page is marked
+    read-only").  Only legal from [Read_write]. *)
+val encode_diff : t -> page_index:int -> Diff.t
+
+(** Mark the local copy stale.  Legal from any state; from [Read_write]
+    the caller must have encoded the diff first (enforced). *)
+val invalidate : t -> unit
+
+(** Apply a diff from another writer to the local copy. *)
+val apply_diff : t -> Diff.t -> unit
+
+(** Overwrite the whole page (a full-page fetch) and mark [Read_only]. *)
+val install : t -> Bytes.t -> unit
+
+(** Declare an [Invalid] page current again after its diffs were applied. *)
+val validate : t -> unit

@@ -1,0 +1,78 @@
+type t = {
+  table : Page.t array;
+  page_size : int;
+  mutable on_read_fault : int -> unit;
+  mutable on_write_fault : int -> unit;
+  mutable read_faults : int;
+  mutable write_faults : int;
+}
+
+let no_handler _ = invalid_arg "Page_table: no fault handler installed"
+
+let create ~pages ~page_size =
+  if pages < 0 then invalid_arg "Page_table.create: pages";
+  {
+    table = Array.init pages (fun _ -> Page.create ~size:page_size);
+    page_size;
+    on_read_fault = no_handler;
+    on_write_fault = no_handler;
+    read_faults = 0;
+    write_faults = 0;
+  }
+
+let pages t = Array.length t.table
+
+let page_size t = t.page_size
+
+let page t i =
+  if i < 0 || i >= Array.length t.table then
+    invalid_arg (Printf.sprintf "Page_table.page: bad page %d" i);
+  t.table.(i)
+
+let set_read_fault t f = t.on_read_fault <- f
+
+let set_write_fault t f = t.on_write_fault <- f
+
+(* Fault handlers may block, and while blocked the page can change state
+   again (a write notice invalidating it, another thread's fault fixing
+   it); retry like real hardware re-executing the trapping instruction.
+   The attempt bound turns a broken handler into an error instead of a
+   livelock. *)
+let max_fault_retries = 1000
+
+let ensure_readable t i =
+  let rec attempt n =
+    match Page.state (page t i) with
+    | Page.Read_only | Page.Read_write -> ()
+    | Page.Invalid ->
+      if n >= max_fault_retries then
+        invalid_arg "Page_table: read fault handler left page invalid";
+      t.read_faults <- t.read_faults + 1;
+      t.on_read_fault i;
+      attempt (n + 1)
+  in
+  attempt 0
+
+let ensure_writable t i =
+  let rec attempt n =
+    if n >= max_fault_retries then
+      invalid_arg "Page_table: write fault handler left page unwritable";
+    match Page.state (page t i) with
+    | Page.Read_write -> ()
+    | Page.Invalid ->
+      ensure_readable t i;
+      attempt (n + 1)
+    | Page.Read_only ->
+      t.write_faults <- t.write_faults + 1;
+      t.on_write_fault i;
+      attempt (n + 1)
+  in
+  attempt 0
+
+let read_faults t = t.read_faults
+
+let write_faults t = t.write_faults
+
+let reset_stats t =
+  t.read_faults <- 0;
+  t.write_faults <- 0

@@ -1,0 +1,41 @@
+(** Per-node page table for the coherent shared region.
+
+    Stands in for the Unix [mprotect]/[SIGSEGV] machinery: every access to
+    the coherent region goes through {!Shm}, which consults the page table
+    and invokes the installed fault handlers exactly where a hardware trap
+    would fire.  The fault handlers (installed by the consistency protocol)
+    may block the faulting fiber while they fetch pages or diffs. *)
+
+type t
+
+val create : pages:int -> page_size:int -> t
+
+val pages : t -> int
+
+val page_size : t -> int
+
+val page : t -> int -> Page.t
+
+(** Install the handler run when a fiber reads an [Invalid] page.  On
+    return the page must be readable. *)
+val set_read_fault : t -> (int -> unit) -> unit
+
+(** Install the handler run when a fiber writes a non-[Read_write] page.
+    On return the page must be writable. *)
+val set_write_fault : t -> (int -> unit) -> unit
+
+(** Ensure the page may be read, faulting if needed. *)
+val ensure_readable : t -> int -> unit
+
+(** Ensure the page may be written, faulting if needed (a write to an
+    [Invalid] page first takes the read fault, then the write fault, as
+    with a real protection trap). *)
+val ensure_writable : t -> int -> unit
+
+(** {1 Statistics} *)
+
+val read_faults : t -> int
+
+val write_faults : t -> int
+
+val reset_stats : t -> unit

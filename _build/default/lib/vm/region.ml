@@ -1,0 +1,69 @@
+type t = {
+  page_size : int;
+  private_bytes : int;
+  noncoherent_bytes : int;
+  coherent_pages : int;
+  private_base : int;
+  noncoherent_base : int;
+  coherent_base : int;
+}
+
+let default_page_size = 4096
+
+let create ?(page_size = default_page_size) ~private_bytes ~noncoherent_bytes
+    ~coherent_pages () =
+  if page_size <= 0 || page_size land (page_size - 1) <> 0 then
+    invalid_arg "Region.create: page_size must be a positive power of two";
+  if private_bytes < 0 || noncoherent_bytes < 0 || coherent_pages < 0 then
+    invalid_arg "Region.create: negative size";
+  {
+    page_size;
+    private_bytes;
+    noncoherent_bytes;
+    coherent_pages;
+    private_base = 0x1000_0000;
+    noncoherent_base = 0x2000_0000;
+    coherent_base = 0x4000_0000;
+  }
+
+let page_size t = t.page_size
+
+let coherent_pages t = t.coherent_pages
+
+let private_bytes t = t.private_bytes
+
+let noncoherent_bytes t = t.noncoherent_bytes
+
+let private_base t = t.private_base
+
+let noncoherent_base t = t.noncoherent_base
+
+let coherent_base t = t.coherent_base
+
+type location =
+  | Private of int
+  | Noncoherent of int
+  | Coherent of { page : int; offset : int }
+
+let locate t addr =
+  if addr >= t.private_base && addr < t.private_base + t.private_bytes then
+    Private (addr - t.private_base)
+  else if
+    addr >= t.noncoherent_base && addr < t.noncoherent_base + t.noncoherent_bytes
+  then Noncoherent (addr - t.noncoherent_base)
+  else
+    let coherent_limit = t.coherent_base + (t.coherent_pages * t.page_size) in
+    if addr >= t.coherent_base && addr < coherent_limit then begin
+      let off = addr - t.coherent_base in
+      Coherent { page = off / t.page_size; offset = off mod t.page_size }
+    end
+    else
+      invalid_arg
+        (Printf.sprintf "Region.locate: segmentation violation at 0x%x" addr)
+
+let coherent_addr t ~page ~offset =
+  if page < 0 || page >= t.coherent_pages then
+    invalid_arg "Region.coherent_addr: bad page";
+  if offset < 0 || offset >= t.page_size then
+    invalid_arg "Region.coherent_addr: bad offset";
+  t.coherent_base + (page * t.page_size) + offset

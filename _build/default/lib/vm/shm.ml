@@ -1,0 +1,105 @@
+type t = {
+  region : Region.t;
+  page_table : Page_table.t;
+  private_mem : Bytes.t;
+  noncoherent : Bytes.t;
+}
+
+let create ~region ~noncoherent =
+  if Bytes.length noncoherent <> Region.noncoherent_bytes region then
+    invalid_arg "Shm.create: noncoherent backing store has the wrong size";
+  {
+    region;
+    page_table =
+      Page_table.create
+        ~pages:(Region.coherent_pages region)
+        ~page_size:(Region.page_size region);
+    private_mem = Bytes.make (Region.private_bytes region) '\000';
+    noncoherent;
+  }
+
+let region t = t.region
+
+let page_table t = t.page_table
+
+let check_aligned addr width =
+  if addr mod width <> 0 then
+    invalid_arg
+      (Printf.sprintf "Shm: unaligned %d-byte access at 0x%x" width addr)
+
+(* Resolve an access: returns the backing bytes and offset, taking
+   coherent-region faults as needed. *)
+let resolve_read t addr =
+  match Region.locate t.region addr with
+  | Region.Private off -> (t.private_mem, off)
+  | Region.Noncoherent off -> (t.noncoherent, off)
+  | Region.Coherent { page; offset } ->
+    Page_table.ensure_readable t.page_table page;
+    (Page.data (Page_table.page t.page_table page), offset)
+
+let resolve_write t addr =
+  match Region.locate t.region addr with
+  | Region.Private off -> (t.private_mem, off)
+  | Region.Noncoherent off -> (t.noncoherent, off)
+  | Region.Coherent { page; offset } ->
+    Page_table.ensure_writable t.page_table page;
+    (Page.data (Page_table.page t.page_table page), offset)
+
+let read_u8 t addr =
+  let bytes, off = resolve_read t addr in
+  Char.code (Bytes.get bytes off)
+
+let write_u8 t addr v =
+  if v < 0 || v > 0xff then invalid_arg "Shm.write_u8: out of range";
+  let bytes, off = resolve_write t addr in
+  Bytes.set bytes off (Char.chr v)
+
+let read_i32 t addr =
+  check_aligned addr 4;
+  let bytes, off = resolve_read t addr in
+  Int32.to_int (Bytes.get_int32_le bytes off)
+
+let write_i32 t addr v =
+  check_aligned addr 4;
+  if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
+    invalid_arg "Shm.write_i32: out of range";
+  let bytes, off = resolve_write t addr in
+  Bytes.set_int32_le bytes off (Int32.of_int v)
+
+let read_i64 t addr =
+  check_aligned addr 8;
+  let bytes, off = resolve_read t addr in
+  Int64.to_int (Bytes.get_int64_le bytes off)
+
+let write_i64 t addr v =
+  check_aligned addr 8;
+  let bytes, off = resolve_write t addr in
+  Bytes.set_int64_le bytes off (Int64.of_int v)
+
+let read_f64 t addr =
+  check_aligned addr 8;
+  let bytes, off = resolve_read t addr in
+  Int64.float_of_bits (Bytes.get_int64_le bytes off)
+
+let write_f64 t addr v =
+  check_aligned addr 8;
+  let bytes, off = resolve_write t addr in
+  Bytes.set_int64_le bytes off (Int64.bits_of_float v)
+
+let check_span t addr len =
+  match Region.locate t.region addr with
+  | Region.Coherent { offset; _ } ->
+    if offset + len > Region.page_size t.region then
+      invalid_arg "Shm: bulk access crosses a page boundary"
+  | Region.Private _ | Region.Noncoherent _ -> ()
+
+let read_bytes t addr ~len =
+  if len < 0 then invalid_arg "Shm.read_bytes: negative length";
+  check_span t addr len;
+  let bytes, off = resolve_read t addr in
+  Bytes.sub bytes off len
+
+let write_bytes t addr src =
+  check_span t addr (Bytes.length src);
+  let bytes, off = resolve_write t addr in
+  Bytes.blit src 0 bytes off (Bytes.length src)

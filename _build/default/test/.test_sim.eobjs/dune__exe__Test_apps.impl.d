@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Carlos Carlos_apps Carlos_dsm Carlos_vm List Printf

@@ -1,0 +1,1 @@
+test/test_carlos.ml: Alcotest Array Carlos Carlos_dsm Carlos_sim Carlos_vm List Printf QCheck QCheck_alcotest String

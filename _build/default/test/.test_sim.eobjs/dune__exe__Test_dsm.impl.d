@@ -1,0 +1,1 @@
+test/test_dsm.ml: Alcotest Array Bytes Carlos_dsm Carlos_vm Gen Int64 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Carlos_net Carlos_sim List QCheck QCheck_alcotest

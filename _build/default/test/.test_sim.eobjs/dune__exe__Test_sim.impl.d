@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Buffer Carlos_sim List QCheck QCheck_alcotest

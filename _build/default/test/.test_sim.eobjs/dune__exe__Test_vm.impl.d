@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Bytes Carlos_vm List QCheck QCheck_alcotest

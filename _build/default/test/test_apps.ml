@@ -1,0 +1,292 @@
+(* End-to-end application tests at reduced scale: every variant of every
+   paper application must produce the correct answer at several cluster
+   sizes and under every cost table (the cost tables reschedule everything,
+   which historically exposed protocol races). *)
+
+module System = Carlos.System
+module Node = Carlos.Node
+module Threads = Carlos.Threads
+module Cost = Carlos_dsm.Cost
+module Tsp = Carlos_apps.Tsp
+module Qsort = Carlos_apps.Qsort
+module Water = Carlos_apps.Water
+module Grid = Carlos_apps.Grid
+
+let tsp_params =
+  { Tsp.default_params with Tsp.cities = 11; prefix_depth = 2; expand_frac = 0.3 }
+
+let qs_params =
+  { Qsort.default_params with Qsort.elements = 32 * 1024; threshold = 512 }
+
+let water_params = { Water.default_params with Water.molecules = 64; steps = 2 }
+
+let grid_params = { Grid.default_params with Grid.size = 32; iterations = 6 }
+
+(* ------------------------------------------------------------------ *)
+
+let test_tsp variant nodes () =
+  let sys = System.create (System.default_config ~nodes) in
+  let r = Tsp.run sys variant tsp_params in
+  Alcotest.(check int) "optimal tour" (Tsp.solve_reference tsp_params) r.Tsp.best
+
+let test_qsort ?(costs = Cost.default) variant nodes () =
+  let cfg = { (Qsort.config ~nodes qs_params) with System.costs } in
+  let sys = System.create cfg in
+  let r = Qsort.run sys variant qs_params in
+  Alcotest.(check bool) "sorted" true r.Qsort.sorted
+
+let test_water variant nodes () =
+  let sys = System.create (System.default_config ~nodes) in
+  let r = Water.run sys variant water_params in
+  if not r.Water.energy_ok then
+    Alcotest.failf "energy %.9f vs reference %.9f" r.Water.energy
+      (Water.reference_energy water_params)
+
+let test_qsort_full_scale_all_costs () =
+  (* The full 256K-element instance under each cost table; different
+     schedules exercised different protocol paths during bring-up. *)
+  List.iter
+    (fun costs ->
+      let p = Qsort.default_params in
+      let cfg = { (Qsort.config ~nodes:4 p) with System.costs } in
+      let r = Qsort.run (System.create cfg) Qsort.Lock p in
+      Alcotest.(check bool) "sorted" true r.Qsort.sorted)
+    [ Cost.default; Cost.treadmarks; Cost.fast_network ]
+
+let test_tsp_determinism () =
+  let run () =
+    let sys = System.create (System.default_config ~nodes:3) in
+    let r = Tsp.run sys Tsp.Hybrid tsp_params in
+    (r.Tsp.best, r.Tsp.visited, r.Tsp.report.System.wall,
+     r.Tsp.report.System.messages)
+  in
+  Alcotest.(check bool) "bit-identical reruns" true (run () = run ())
+
+let test_water_message_counts () =
+  (* The hybrid must send far fewer messages than the lock version (the
+     paper's headline observation). *)
+  let sys1 = System.create (System.default_config ~nodes:4) in
+  let lock = Water.run sys1 Water.Lock water_params in
+  let sys2 = System.create (System.default_config ~nodes:4) in
+  let hybrid = Water.run sys2 Water.Hybrid water_params in
+  Alcotest.(check bool) "hybrid sends fewer messages" true
+    (hybrid.Water.report.System.messages
+    < lock.Water.report.System.messages);
+  Alcotest.(check bool) "hybrid is faster" true
+    (hybrid.Water.report.System.wall < lock.Water.report.System.wall)
+
+let test_water_under_datagram_loss () =
+  (* The sliding-window protocol must make the whole stack correct even
+     when the UDP stand-in drops datagrams. *)
+  let cfg =
+    { (System.default_config ~nodes:3) with System.loss = 0.05; rto = 0.02 }
+  in
+  let r = Water.run (System.create cfg) Water.Hybrid water_params in
+  Alcotest.(check bool) "energy correct despite 5% loss" true r.Water.energy_ok
+
+let test_qsort_under_datagram_loss () =
+  let p = qs_params in
+  let cfg =
+    { (Qsort.config ~nodes:3 p) with System.loss = 0.03; rto = 0.02 }
+  in
+  let r = Qsort.run (System.create cfg) Qsort.Hybrid1 p in
+  Alcotest.(check bool) "sorted despite 3% loss" true r.Qsort.sorted
+
+let test_water_update_strategy () =
+  (* The update/hybrid coherence strategies must preserve application
+     results end-to-end. *)
+  List.iter
+    (fun strategy ->
+      let cfg = { (System.default_config ~nodes:4) with System.strategy } in
+      List.iter
+        (fun variant ->
+          let r = Water.run (System.create cfg) variant water_params in
+          Alcotest.(check bool) "energy" true r.Water.energy_ok)
+        [ Water.Lock; Water.Hybrid ])
+    [ Carlos_dsm.Lrc.Update; Carlos_dsm.Lrc.Hybrid_update ]
+
+let test_tsp_update_strategy () =
+  List.iter
+    (fun strategy ->
+      let cfg = { (System.default_config ~nodes:3) with System.strategy } in
+      let r = Tsp.run (System.create cfg) Tsp.Lock tsp_params in
+      Alcotest.(check int) "optimal" (Tsp.solve_reference tsp_params) r.Tsp.best)
+    [ Carlos_dsm.Lrc.Update; Carlos_dsm.Lrc.Hybrid_update ]
+
+let test_qsort_update_strategy () =
+  List.iter
+    (fun strategy ->
+      let cfg = { (Qsort.config ~nodes:4 qs_params) with System.strategy } in
+      let r = Qsort.run (System.create cfg) Qsort.Hybrid1 qs_params in
+      Alcotest.(check bool) "sorted" true r.Qsort.sorted)
+    [ Carlos_dsm.Lrc.Update; Carlos_dsm.Lrc.Hybrid_update ]
+
+let test_grid variant nodes () =
+  let sys = System.create (Grid.config ~nodes grid_params) in
+  let r = Grid.run sys variant grid_params in
+  if not r.Grid.exact then
+    Alcotest.failf "checksum %.12f vs reference %.12f" r.Grid.checksum
+      (Grid.reference grid_params)
+
+let test_grid_update_strategy () =
+  List.iter
+    (fun strategy ->
+      let sys = System.create (Grid.config ~nodes:4 ~strategy grid_params) in
+      let r = Grid.run sys Grid.Hybrid grid_params in
+      Alcotest.(check bool) "exact" true r.Grid.exact)
+    [ Carlos_dsm.Lrc.Update; Carlos_dsm.Lrc.Hybrid_update ]
+
+let test_grid_neighbour_sync_beats_barrier () =
+  (* The hybrid's neighbour-only synchronization must not be slower than
+     the global barrier. *)
+  let sys1 = System.create (Grid.config ~nodes:4 grid_params) in
+  let b = Grid.run sys1 Grid.Barrier grid_params in
+  let sys2 = System.create (Grid.config ~nodes:4 grid_params) in
+  let h = Grid.run sys2 Grid.Hybrid grid_params in
+  Alcotest.(check bool) "both exact" true (b.Grid.exact && h.Grid.exact);
+  Alcotest.(check bool) "hybrid not slower" true
+    (h.Grid.report.System.wall <= b.Grid.report.System.wall *. 1.05)
+
+(* ------------------------------------------------------------------ *)
+(* Threads *)
+
+let test_threads_join () =
+  let sys = System.create (System.default_config ~nodes:1) in
+  let counter = ref 0 in
+  let (_ : System.report) =
+    System.run sys (fun node ->
+        let pool = Threads.create node in
+        for _ = 1 to 5 do
+          Threads.spawn pool (fun () ->
+              Node.compute node 0.001;
+              Node.flush_compute node;
+              incr counter)
+        done;
+        Threads.join_all pool;
+        Alcotest.(check int) "all threads ran before join returned" 5 !counter)
+  in
+  Alcotest.(check int) "count" 5 !counter
+
+let test_threads_hide_latency () =
+  (* Two threads each blocking on a remote fetch must finish faster than
+     the same fetches done serially. *)
+  let run ~threaded =
+    let sys = System.create (System.default_config ~nodes:2) in
+    let a = System.alloc sys ~align:4096 8 in
+    let b = System.alloc sys ~align:4096 8 in
+    let barrier = Carlos.Msg_barrier.create sys ~manager:0 ~name:"b" () in
+    let report =
+      System.run sys (fun node ->
+          let shm = Node.shm node in
+          if Node.id node = 0 then begin
+            Carlos_vm.Shm.write_i64 shm a 1;
+            Carlos_vm.Shm.write_i64 shm b 2
+          end;
+          Carlos.Msg_barrier.wait barrier node;
+          if Node.id node = 1 then
+            if threaded then begin
+              let pool = Threads.create node in
+              Threads.spawn pool (fun () ->
+                  ignore (Carlos_vm.Shm.read_i64 shm a));
+              Threads.spawn pool (fun () ->
+                  ignore (Carlos_vm.Shm.read_i64 shm b));
+              Threads.join_all pool
+            end
+            else begin
+              ignore (Carlos_vm.Shm.read_i64 shm a);
+              ignore (Carlos_vm.Shm.read_i64 shm b)
+            end;
+          Carlos.Msg_barrier.wait barrier node)
+    in
+    report.System.wall
+  in
+  let serial = run ~threaded:false and overlapped = run ~threaded:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "overlapped %.4f < serial %.4f" overlapped serial)
+    true (overlapped < serial)
+
+let test_threads_yield () =
+  let sys = System.create (System.default_config ~nodes:1) in
+  let order = ref [] in
+  let (_ : System.report) =
+    System.run sys (fun node ->
+        let pool = Threads.create node in
+        Threads.spawn pool (fun () ->
+            order := `A1 :: !order;
+            Threads.yield pool;
+            order := `A2 :: !order);
+        Threads.spawn pool (fun () -> order := `B :: !order);
+        Threads.join_all pool)
+  in
+  Alcotest.(check bool) "yield interleaves" true
+    (List.rev !order = [ `A1; `B; `A2 ])
+
+(* ------------------------------------------------------------------ *)
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "tsp",
+        [
+          quick "lock N=1" (test_tsp Tsp.Lock 1);
+          quick "lock N=3" (test_tsp Tsp.Lock 3);
+          quick "lock N=4" (test_tsp Tsp.Lock 4);
+          quick "hybrid N=1" (test_tsp Tsp.Hybrid 1);
+          quick "hybrid N=3" (test_tsp Tsp.Hybrid 3);
+          quick "hybrid N=4" (test_tsp Tsp.Hybrid 4);
+          quick "all-release N=4" (test_tsp Tsp.Hybrid_all_release 4);
+          quick "determinism" test_tsp_determinism;
+        ] );
+      ( "qsort",
+        [
+          quick "lock N=1" (test_qsort Qsort.Lock 1);
+          quick "lock N=3" (test_qsort Qsort.Lock 3);
+          quick "lock N=4" (test_qsort Qsort.Lock 4);
+          quick "hybrid-1 N=3" (test_qsort Qsort.Hybrid1 3);
+          quick "hybrid-1 N=4" (test_qsort Qsort.Hybrid1 4);
+          quick "hybrid-2 N=4" (test_qsort Qsort.Hybrid2 4);
+          quick "no-forwarding N=4" (test_qsort Qsort.Hybrid_nf 4);
+          quick "lock N=4 treadmarks costs"
+            (test_qsort ~costs:Cost.treadmarks Qsort.Lock 4);
+          quick "hybrid N=4 fast network"
+            (test_qsort ~costs:Cost.fast_network Qsort.Hybrid1 4);
+          Alcotest.test_case "full scale, all cost tables" `Slow
+            test_qsort_full_scale_all_costs;
+        ] );
+      ( "water",
+        [
+          quick "lock N=1" (test_water Water.Lock 1);
+          quick "lock N=3" (test_water Water.Lock 3);
+          quick "lock N=4" (test_water Water.Lock 4);
+          quick "hybrid N=1" (test_water Water.Hybrid 1);
+          quick "hybrid N=3" (test_water Water.Hybrid 3);
+          quick "hybrid N=4" (test_water Water.Hybrid 4);
+          quick "all-release N=4" (test_water Water.Hybrid_all_release 4);
+          quick "message counts" test_water_message_counts;
+          quick "under datagram loss" test_water_under_datagram_loss;
+          quick "update strategies" test_water_update_strategy;
+        ] );
+      ( "grid",
+        [
+          quick "barrier N=1" (test_grid Grid.Barrier 1);
+          quick "barrier N=4" (test_grid Grid.Barrier 4);
+          quick "hybrid N=2" (test_grid Grid.Hybrid 2);
+          quick "hybrid N=4" (test_grid Grid.Hybrid 4);
+          quick "hybrid under update strategies" test_grid_update_strategy;
+          quick "neighbour sync vs barrier" test_grid_neighbour_sync_beats_barrier;
+        ] );
+      ( "robustness",
+        [
+          quick "qsort under loss" test_qsort_under_datagram_loss;
+          quick "tsp update strategies" test_tsp_update_strategy;
+          quick "qsort update strategies" test_qsort_update_strategy;
+        ] );
+      ( "threads",
+        [
+          quick "join_all" test_threads_join;
+          quick "latency hiding" test_threads_hide_latency;
+          quick "yield" test_threads_yield;
+        ] );
+    ]

@@ -1,0 +1,587 @@
+(* Tests for the lazy-release-consistency engine, exercised through a
+   loopback transport that wires several Lrc instances together with direct
+   function calls (no simulated network, no engine).  This isolates the
+   protocol logic: write trapping, interval bookkeeping, piggyback
+   construction, acceptance, diff fetching, the multiple-writer protocol,
+   the non-transitive path, and metadata garbage collection. *)
+
+module Region = Carlos_vm.Region
+module Page = Carlos_vm.Page
+module Page_table = Carlos_vm.Page_table
+module Shm = Carlos_vm.Shm
+module Vc = Carlos_dsm.Vc
+module Interval = Carlos_dsm.Interval
+module Cost = Carlos_dsm.Cost
+module Lrc = Carlos_dsm.Lrc
+
+type cluster = {
+  region : Region.t;
+  shms : Shm.t array;
+  lrcs : Lrc.t array;
+  charged : float ref;
+}
+
+let make_cluster ?strategy n =
+  let region =
+    Region.create ~page_size:256 ~private_bytes:256 ~noncoherent_bytes:256
+      ~coherent_pages:8 ()
+  in
+  let noncoherent = Bytes.make 256 '\000' in
+  let shms = Array.init n (fun _ -> Shm.create ~region ~noncoherent) in
+  let charged = ref 0.0 in
+  let charge dt = charged := !charged +. dt in
+  let lrcs =
+    Array.init n (fun me ->
+        Lrc.create ~nodes:n ~me
+          ~page_table:(Shm.page_table shms.(me))
+          ~costs:Cost.default ~charge ?strategy ())
+  in
+  let transport =
+    {
+      Lrc.fetch_diffs = (fun ~dst req -> Lrc.serve_diffs lrcs.(dst) req);
+      fetch_intervals =
+        (fun ~dst ~have -> Lrc.serve_intervals lrcs.(dst) ~have);
+      fetch_page = (fun ~dst ~page -> Lrc.serve_page lrcs.(dst) ~page);
+    }
+  in
+  Array.iter (fun l -> Lrc.set_transport l transport) lrcs;
+  { region; shms; lrcs; charged }
+
+(* Address of slot [i] (8 bytes each) on coherent page [page]. *)
+let slot c ~page i = Region.coherent_addr c.region ~page ~offset:(8 * i)
+
+(* Model a synchronizing message from [src] to [dst]. *)
+let release c ~src ~dst =
+  let pb = Lrc.make_piggyback c.lrcs.(src) ~receiver:dst ~nontransitive:false in
+  Lrc.accept c.lrcs.(dst) [ pb ];
+  pb
+
+let _release_nt c ~src ~dst =
+  let pb = Lrc.make_piggyback c.lrcs.(src) ~receiver:dst ~nontransitive:true in
+  Lrc.accept c.lrcs.(dst) [ pb ];
+  pb
+
+let page_state c ~node ~page =
+  Page.state (Page_table.page (Shm.page_table c.shms.(node)) page)
+
+(* ------------------------------------------------------------------ *)
+
+let test_basic_propagation () =
+  let c = make_cluster 2 in
+  let a = slot c ~page:0 0 in
+  Shm.write_i64 c.shms.(0) a 42;
+  let _ = release c ~src:0 ~dst:1 in
+  Alcotest.(check int) "value visible after release/accept" 42
+    (Shm.read_i64 c.shms.(1) a);
+  Alcotest.(check bool) "consistency work was charged" true (!(c.charged) > 0.0)
+
+let test_write_notice_invalidates () =
+  let c = make_cluster 2 in
+  let a = slot c ~page:2 0 in
+  Shm.write_i64 c.shms.(0) a 7;
+  let _ = release c ~src:0 ~dst:1 in
+  Alcotest.(check bool) "page 2 invalid at receiver before access" true
+    (page_state c ~node:1 ~page:2 = Page.Invalid);
+  Alcotest.(check bool) "other pages untouched" true
+    (page_state c ~node:1 ~page:3 = Page.Read_only)
+
+let test_vc_advances () =
+  let c = make_cluster 3 in
+  let a = slot c ~page:0 0 in
+  Shm.write_i64 c.shms.(0) a 1;
+  let pb = release c ~src:0 ~dst:1 in
+  Alcotest.(check bool) "receiver dominates required" true
+    (Vc.dominates (Lrc.vc c.lrcs.(1)) pb.Lrc.required_vc);
+  Alcotest.(check int) "one interval from node 0" 1
+    (Vc.get (Lrc.vc c.lrcs.(1)) 0)
+
+let test_no_fault_for_own_data () =
+  let c = make_cluster 2 in
+  let a = slot c ~page:1 0 in
+  Shm.write_i64 c.shms.(0) a 5;
+  Alcotest.(check int) "own read" 5 (Shm.read_i64 c.shms.(0) a);
+  let pt = Shm.page_table c.shms.(0) in
+  Alcotest.(check int) "no read faults" 0 (Page_table.read_faults pt);
+  Alcotest.(check int) "one write fault" 1 (Page_table.write_faults pt)
+
+let test_transitivity () =
+  let c = make_cluster 3 in
+  let a = slot c ~page:0 0 and b = slot c ~page:1 0 in
+  Shm.write_i64 c.shms.(0) a 10;
+  let _ = release c ~src:0 ~dst:1 in
+  Shm.write_i64 c.shms.(1) b 20;
+  let _ = release c ~src:1 ~dst:2 in
+  (* Happened-before is transitive: node 2 must see node 0's write. *)
+  Alcotest.(check int) "transitive value" 10 (Shm.read_i64 c.shms.(2) a);
+  Alcotest.(check int) "direct value" 20 (Shm.read_i64 c.shms.(2) b)
+
+let test_tailored_piggyback () =
+  let c = make_cluster 2 in
+  let a = slot c ~page:0 0 in
+  Shm.write_i64 c.shms.(0) a 1;
+  let pb1 = release c ~src:0 ~dst:1 in
+  Alcotest.(check int) "first release carries the interval" 1
+    (List.length pb1.Lrc.intervals);
+  (* Tell node 0 what node 1 now has (a REQUEST piggyback would do this). *)
+  Lrc.note_peer_vc c.lrcs.(0) ~peer:1 (Lrc.vc c.lrcs.(1));
+  Shm.write_i64 c.shms.(0) a 2;
+  let pb2 = release c ~src:0 ~dst:1 in
+  Alcotest.(check int) "second release carries only the new interval" 1
+    (List.length pb2.Lrc.intervals);
+  Alcotest.(check int) "value" 2 (Shm.read_i64 c.shms.(1) a);
+  (* Without note_peer_vc the second release would have carried both. *)
+  ()
+
+let test_untold_peer_gets_full_history () =
+  let c = make_cluster 3 in
+  let a = slot c ~page:0 0 in
+  Shm.write_i64 c.shms.(0) a 1;
+  let _ = release c ~src:0 ~dst:1 in
+  Shm.write_i64 c.shms.(0) a 2;
+  (* Node 2 was never heard from: the piggyback includes both intervals. *)
+  let pb = Lrc.make_piggyback c.lrcs.(0) ~receiver:2 ~nontransitive:false in
+  Alcotest.(check int) "both intervals" 2 (List.length pb.Lrc.intervals);
+  Lrc.accept c.lrcs.(2) [ pb ];
+  Alcotest.(check int) "latest value" 2 (Shm.read_i64 c.shms.(2) a)
+
+let test_multiple_writers_false_sharing () =
+  let c = make_cluster 3 in
+  (* Nodes 0 and 1 write disjoint slots of the same page concurrently. *)
+  let a = slot c ~page:0 0 and b = slot c ~page:0 1 in
+  Shm.write_i64 c.shms.(0) a 111;
+  Shm.write_i64 c.shms.(1) b 222;
+  let pb0 = Lrc.make_piggyback c.lrcs.(0) ~receiver:2 ~nontransitive:false in
+  let pb1 = Lrc.make_piggyback c.lrcs.(1) ~receiver:2 ~nontransitive:false in
+  Lrc.accept c.lrcs.(2) [ pb0; pb1 ];
+  Alcotest.(check int) "writer 0 slot" 111 (Shm.read_i64 c.shms.(2) a);
+  Alcotest.(check int) "writer 1 slot" 222 (Shm.read_i64 c.shms.(2) b)
+
+let test_concurrent_writer_preserves_local_mods () =
+  let c = make_cluster 2 in
+  let a = slot c ~page:0 0 and b = slot c ~page:0 1 in
+  (* Node 1 writes its own slot, then accepts node 0's concurrent write to
+     the same page: the local modification must survive invalidation. *)
+  Shm.write_i64 c.shms.(1) b 9;
+  Shm.write_i64 c.shms.(0) a 8;
+  let _ = release c ~src:0 ~dst:1 in
+  Alcotest.(check int) "remote write" 8 (Shm.read_i64 c.shms.(1) a);
+  Alcotest.(check int) "local write preserved" 9 (Shm.read_i64 c.shms.(1) b)
+
+let test_nontransitive_triggers_interval_fetch () =
+  let c = make_cluster 3 in
+  let a = slot c ~page:0 0 and b = slot c ~page:1 0 in
+  Shm.write_i64 c.shms.(0) a 10;
+  let _ = release c ~src:0 ~dst:1 in
+  Shm.write_i64 c.shms.(1) b 20;
+  (* Non-transitive release from 1 to 2: carries only node 1's intervals,
+     but the required vc names node 0's interval, so node 2 must fetch the
+     missing description from node 1. *)
+  let pb = Lrc.make_piggyback c.lrcs.(1) ~receiver:2 ~nontransitive:true in
+  Alcotest.(check bool) "only own intervals in NT piggyback" true
+    (List.for_all
+       (fun (i : Interval.t) -> i.Interval.id.Interval.creator = 1)
+       pb.Lrc.intervals);
+  Lrc.accept c.lrcs.(2) [ pb ];
+  Alcotest.(check int) "interval fetch happened" 1
+    (Lrc.stats c.lrcs.(2)).Lrc.interval_fetches;
+  Alcotest.(check int) "transitive value still correct" 10
+    (Shm.read_i64 c.shms.(2) a);
+  Alcotest.(check int) "direct value" 20 (Shm.read_i64 c.shms.(2) b)
+
+let test_barrier_union_has_no_gaps () =
+  let c = make_cluster 4 in
+  (* Every client writes its own page, then sends a non-transitive arrival
+     to the manager (node 0), which accepts them all at once.  The union of
+     own-interval contributions is complete, so no interval fetch should be
+     needed (this is why RELEASE_NT exists, paper §2). *)
+  let addrs = Array.init 4 (fun i -> slot c ~page:i 0) in
+  for node = 1 to 3 do
+    Shm.write_i64 c.shms.(node) addrs.(node) (100 + node)
+  done;
+  let arrivals =
+    List.map
+      (fun node ->
+        Lrc.make_piggyback c.lrcs.(node) ~receiver:0 ~nontransitive:true)
+      [ 1; 2; 3 ]
+  in
+  Lrc.accept c.lrcs.(0) arrivals;
+  Alcotest.(check int) "no interval fetches at manager" 0
+    (Lrc.stats c.lrcs.(0)).Lrc.interval_fetches;
+  for node = 1 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "manager sees node %d write" node)
+      (100 + node)
+      (Shm.read_i64 c.shms.(0) addrs.(node))
+  done
+
+let test_orphan_diff_path () =
+  let c = make_cluster 3 in
+  let a = slot c ~page:0 0 in
+  (* Node 0 writes and releases to node 1 (interval closed, diff pending
+     behind the twin). *)
+  Shm.write_i64 c.shms.(0) a 1;
+  let _ = release c ~src:0 ~dst:1 in
+  (* Node 0 keeps writing the same page in its open (unreleased)
+     interval; node 1 synchronized only with the first release, so it
+     reads exactly the released value — eager per-interval diffs keep the
+     unreleased write invisible. *)
+  Shm.write_i64 c.shms.(0) a 2;
+  Alcotest.(check int) "node 1 reads only the released value" 1
+    (Shm.read_i64 c.shms.(1) a);
+  let _ = release c ~src:0 ~dst:2 in
+  Alcotest.(check int) "node 2 sees final value" 2 (Shm.read_i64 c.shms.(2) a)
+
+let test_empty_diff_release () =
+  let c = make_cluster 2 in
+  let a = slot c ~page:0 0 in
+  (* Write the value that is already there: a twin and an interval exist,
+     but the eventual diff is empty.  Everything must still work. *)
+  Shm.write_i64 c.shms.(0) a 0;
+  let _ = release c ~src:0 ~dst:1 in
+  Alcotest.(check int) "read" 0 (Shm.read_i64 c.shms.(1) a)
+
+let test_release_without_writes_carries_no_interval () =
+  let c = make_cluster 2 in
+  let pb = Lrc.make_piggyback c.lrcs.(0) ~receiver:1 ~nontransitive:false in
+  Alcotest.(check int) "no intervals" 0 (List.length pb.Lrc.intervals);
+  Lrc.accept c.lrcs.(1) [ pb ];
+  Alcotest.(check int) "vc unchanged" 0 (Vc.get (Lrc.vc c.lrcs.(1)) 0)
+
+let test_whole_page_fetch_for_long_histories () =
+  let c = make_cluster 2 in
+  let a = slot c ~page:0 0 in
+  (* Ten separate intervals all touching page 0; the reader should prefer a
+     single whole-page fetch over ten diff fetches. *)
+  for i = 1 to 10 do
+    Shm.write_i64 c.shms.(0) a i;
+    let pb = Lrc.make_piggyback c.lrcs.(0) ~receiver:1 ~nontransitive:false in
+    ignore pb;
+    (* Deliver only the consistency information, without reading, so the
+       missing list grows. *)
+    Lrc.accept c.lrcs.(1) [ pb ]
+  done;
+  Alcotest.(check int) "value" 10 (Shm.read_i64 c.shms.(1) a);
+  Alcotest.(check int) "whole-page fetch used" 1
+    (Lrc.stats c.lrcs.(1)).Lrc.page_fetches
+
+let test_metadata_gc () =
+  let c = make_cluster 2 in
+  let a = slot c ~page:0 0 in
+  for i = 1 to 5 do
+    Shm.write_i64 c.shms.(0) a i;
+    let _ = release c ~src:0 ~dst:1 in
+    ignore (Shm.read_i64 c.shms.(1) a)
+  done;
+  let before = Lrc.metadata_pressure c.lrcs.(0) in
+  Alcotest.(check bool) "pressure accumulated" true (before > 0);
+  (* Both nodes are now mutually consistent; discard history. *)
+  Lrc.validate_all c.lrcs.(0);
+  Lrc.validate_all c.lrcs.(1);
+  let snapshot = Vc.join (Lrc.vc c.lrcs.(0)) (Lrc.vc c.lrcs.(1)) in
+  Lrc.discard_before c.lrcs.(0) snapshot;
+  Lrc.discard_before c.lrcs.(1) snapshot;
+  Alcotest.(check bool) "pressure dropped" true
+    (Lrc.metadata_pressure c.lrcs.(0) < before);
+  (* The system keeps working after the GC. *)
+  Shm.write_i64 c.shms.(0) a 99;
+  let _ = release c ~src:0 ~dst:1 in
+  Alcotest.(check int) "post-gc value" 99 (Shm.read_i64 c.shms.(1) a)
+
+let test_lock_handoff_chain () =
+  let c = make_cluster 4 in
+  let a = slot c ~page:0 0 in
+  (* A counter incremented under a lock that migrates around the ring:
+     release-accept edges must carry the full history. *)
+  let holder = ref 0 in
+  Shm.write_i64 c.shms.(0) a 1;
+  for next = 1 to 3 do
+    let _ = release c ~src:!holder ~dst:next in
+    let v = Shm.read_i64 c.shms.(next) a in
+    Shm.write_i64 c.shms.(next) a (v + 1);
+    holder := next
+  done;
+  let _ = release c ~src:3 ~dst:0 in
+  Alcotest.(check int) "counter value" 4 (Shm.read_i64 c.shms.(0) a)
+
+let test_determinism () =
+  let run () =
+    let c = make_cluster 3 in
+    let a = slot c ~page:0 0 and b = slot c ~page:1 1 in
+    Shm.write_i64 c.shms.(0) a 1;
+    let _ = release c ~src:0 ~dst:1 in
+    Shm.write_i64 c.shms.(1) b 2;
+    let _ = release c ~src:1 ~dst:2 in
+    ignore (Shm.read_i64 c.shms.(2) a);
+    ignore (Shm.read_i64 c.shms.(2) b);
+    let s = Lrc.stats c.lrcs.(2) in
+    (s.Lrc.diffs_applied, s.Lrc.write_notices_applied, !(c.charged))
+  in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check bool) "identical stats across runs" true (r1 = r2)
+
+let prop_lock_chain_counter =
+  (* Random release chains: a counter passed along any sequence of
+     release/accept edges always reads its true value. *)
+  QCheck.Test.make ~name:"lrc: counter correct along random release chains"
+    ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 25) (int_range 0 3))
+    (fun hops ->
+      let c = make_cluster 4 in
+      let a = slot c ~page:0 0 in
+      let holder = ref 0 and count = ref 0 in
+      Shm.write_i64 c.shms.(0) a 0;
+      List.iter
+        (fun next ->
+          if next <> !holder then begin
+            let _ = release c ~src:!holder ~dst:next in
+            ()
+          end;
+          let v = Shm.read_i64 c.shms.(next) a in
+          if v <> !count then QCheck.Test.fail_reportf "read %d at %d" v !count;
+          Shm.write_i64 c.shms.(next) a (v + 1);
+          incr count;
+          holder := next)
+        hops;
+      true)
+
+let prop_false_sharing_slots =
+  (* Each node owns one slot of a single page and increments it under
+     random release edges to a central reader; final values must match. *)
+  QCheck.Test.make ~name:"lrc: per-node slots survive false sharing"
+    ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 20) (int_range 1 3))
+    (fun writers ->
+      let c = make_cluster 4 in
+      let counts = Array.make 4 0 in
+      List.iter
+        (fun node ->
+          let a = slot c ~page:0 node in
+          let v = Shm.read_i64 c.shms.(node) a in
+          Shm.write_i64 c.shms.(node) a (v + 1);
+          counts.(node) <- counts.(node) + 1;
+          let _ = release c ~src:node ~dst:0 in
+          ())
+        writers;
+      Array.for_all2 ( = )
+        (Array.init 4 (fun node ->
+             if node = 0 then 0 else Shm.read_i64 c.shms.(0) (slot c ~page:0 node)))
+        (Array.mapi (fun i v -> if i = 0 then 0 else v) counts))
+
+(* Regression tests for subtle protocol bugs found during bring-up. *)
+
+let test_serve_page_excludes_open_writes () =
+  let c = make_cluster 2 in
+  let a = slot c ~page:0 0 in
+  (* Released value 1; unreleased open-interval value 2. *)
+  Shm.write_i64 c.shms.(0) a 1;
+  let _ = release c ~src:0 ~dst:1 in
+  Shm.write_i64 c.shms.(0) a 2;
+  (match Lrc.serve_page c.lrcs.(0) ~page:0 with
+  | None -> Alcotest.fail "page should be servable"
+  | Some reply ->
+    (* The served copy is the clean snapshot: byte-granular diffs assume
+       the receiver's base matches the writer's twin, so unreleased
+       mid-interval writes must not leak. *)
+    Alcotest.(check int) "served copy excludes the unreleased write" 1
+      (Int64.to_int (Bytes.get_int64_le reply.Lrc.data 0)));
+  (* The open write is still published correctly at the next release. *)
+  let _ = release c ~src:0 ~dst:1 in
+  Alcotest.(check int) "next release publishes it" 2
+    (Shm.read_i64 c.shms.(1) a)
+
+let test_concurrent_release_during_cpu_yield () =
+  (* Two same-node fibers releasing interleaved must not double-publish
+     one dirty list (the close_interval snapshot race).  The loopback
+     cluster has no engine, so we emulate by two back-to-back
+     make_piggyback calls: the second must carry no new interval. *)
+  let c = make_cluster 2 in
+  let a = slot c ~page:0 0 in
+  Shm.write_i64 c.shms.(0) a 5;
+  let pb1 = Lrc.make_piggyback c.lrcs.(0) ~receiver:1 ~nontransitive:false in
+  let pb2 = Lrc.make_piggyback c.lrcs.(0) ~receiver:1 ~nontransitive:false in
+  Alcotest.(check int) "first close publishes" 1 (List.length pb1.Lrc.intervals);
+  Alcotest.(check int) "second close publishes nothing new" 1
+    (List.length pb2.Lrc.intervals);
+  (* pb2 still carries the interval description because node 1's knowledge
+     was not updated; but no *new* interval may exist. *)
+  Alcotest.(check int) "only one interval was created" 1
+    (Lrc.stats c.lrcs.(0)).Lrc.intervals_created
+
+let test_many_interval_page_history_correct () =
+  (* Long per-page histories exercise the whole-page fetch path; the final
+     value must always win regardless of transfer mechanism. *)
+  let c = make_cluster 3 in
+  let a = slot c ~page:0 0 and b = slot c ~page:0 1 in
+  for i = 1 to 12 do
+    Shm.write_i64 c.shms.(0) a i;
+    let pb = Lrc.make_piggyback c.lrcs.(0) ~receiver:1 ~nontransitive:false in
+    Lrc.accept c.lrcs.(1) [ pb ]
+  done;
+  (* Node 1 interleaves a write of its own slot on the same page. *)
+  Shm.write_i64 c.shms.(1) b 777;
+  let _ = release c ~src:1 ~dst:2 in
+  ignore (Shm.read_i64 c.shms.(1) a);
+  Alcotest.(check int) "final value at reader" 12 (Shm.read_i64 c.shms.(1) a);
+  Alcotest.(check int) "own slot preserved" 777 (Shm.read_i64 c.shms.(1) b);
+  let _ = release c ~src:0 ~dst:2 in
+  Alcotest.(check int) "third party sees final value" 12
+    (Shm.read_i64 c.shms.(2) a);
+  Alcotest.(check int) "third party sees node1 slot" 777
+    (Shm.read_i64 c.shms.(2) b)
+
+(* ------------------------------------------------------------------ *)
+(* Update / hybrid coherence strategies (paper §4.3) *)
+
+let test_update_strategy_keeps_pages_valid () =
+  let c = make_cluster ~strategy:Lrc.Update 2 in
+  let a = slot c ~page:0 0 in
+  Shm.write_i64 c.shms.(0) a 42;
+  let pb = Lrc.make_piggyback c.lrcs.(0) ~receiver:1 ~nontransitive:false in
+  Alcotest.(check bool) "diffs travel with the release" true
+    (pb.Lrc.attached_diffs <> []);
+  Lrc.accept c.lrcs.(1) [ pb ];
+  (* The data arrived eagerly: the page stays valid and the read faults
+     neither for the page nor for diffs. *)
+  Alcotest.(check bool) "page stays valid" true
+    (page_state c ~node:1 ~page:0 <> Page.Invalid);
+  Alcotest.(check int) "value" 42 (Shm.read_i64 c.shms.(1) a);
+  Alcotest.(check int) "no read fault" 0
+    (Page_table.read_faults (Shm.page_table c.shms.(1)));
+  Alcotest.(check int) "no diff request" 0
+    (Lrc.stats c.lrcs.(1)).Lrc.diff_requests
+
+let test_invalidate_strategy_attaches_nothing () =
+  let c = make_cluster 2 in
+  let a = slot c ~page:0 0 in
+  Shm.write_i64 c.shms.(0) a 1;
+  let pb = Lrc.make_piggyback c.lrcs.(0) ~receiver:1 ~nontransitive:false in
+  Alcotest.(check bool) "no eager data under invalidation" true
+    (pb.Lrc.attached_diffs = [])
+
+let test_hybrid_update_attaches_own_only () =
+  let c = make_cluster ~strategy:Lrc.Hybrid_update 3 in
+  let a = slot c ~page:0 0 and b = slot c ~page:1 0 in
+  Shm.write_i64 c.shms.(0) a 10;
+  let _ = release c ~src:0 ~dst:1 in
+  Shm.write_i64 c.shms.(1) b 20;
+  let pb = Lrc.make_piggyback c.lrcs.(1) ~receiver:2 ~nontransitive:false in
+  (* The piggyback describes both nodes' intervals but ships data only for
+     the sender's own. *)
+  Alcotest.(check bool) "attachments only from the sender" true
+    (List.for_all
+       (fun (_, (id : Interval.id), _) -> id.Interval.creator = 1)
+       pb.Lrc.attached_diffs);
+  Lrc.accept c.lrcs.(2) [ pb ];
+  Alcotest.(check bool) "sender's page valid" true
+    (page_state c ~node:2 ~page:1 <> Page.Invalid);
+  Alcotest.(check bool) "third-party page invalidated" true
+    (page_state c ~node:2 ~page:0 = Page.Invalid);
+  Alcotest.(check int) "third-party value on demand" 10
+    (Shm.read_i64 c.shms.(2) a);
+  Alcotest.(check int) "sender value eagerly" 20 (Shm.read_i64 c.shms.(2) b)
+
+let test_update_onto_stale_base_caches () =
+  let c = make_cluster ~strategy:Lrc.Update 3 in
+  let a = slot c ~page:0 0 and a' = slot c ~page:0 1 in
+  (* Node 0 writes page 0 and releases only to node 1. *)
+  Shm.write_i64 c.shms.(0) a 5;
+  let _ = release c ~src:0 ~dst:1 in
+  (* Node 1 writes the same page and sends node 2 a non-transitive
+     release: node 2 learns about node 0's interval only as a gap, so its
+     copy is stale for it; node 1's eager diff cannot be applied in place
+     and must be cached for the later validation. *)
+  Shm.write_i64 c.shms.(1) a' 6;
+  let pb = Lrc.make_piggyback c.lrcs.(1) ~receiver:2 ~nontransitive:true in
+  Lrc.accept c.lrcs.(2) [ pb ];
+  Alcotest.(check bool) "page invalid (gap)" true
+    (page_state c ~node:2 ~page:0 = Page.Invalid);
+  Alcotest.(check int) "both writes visible after validation" 5
+    (Shm.read_i64 c.shms.(2) a);
+  Alcotest.(check int) "second slot" 6 (Shm.read_i64 c.shms.(2) a');
+  (* Only node 0's diff needed a remote fetch; node 1's came with the
+     message. *)
+  Alcotest.(check int) "one remote diff request" 1
+    (Lrc.stats c.lrcs.(2)).Lrc.diff_requests
+
+let test_update_strategy_lock_chain () =
+  (* The counter chain from the invalidation tests must hold verbatim
+     under the update strategy. *)
+  let c = make_cluster ~strategy:Lrc.Update 4 in
+  let a = slot c ~page:0 0 in
+  Shm.write_i64 c.shms.(0) a 1;
+  for next = 1 to 3 do
+    let _ = release c ~src:(next - 1) ~dst:next in
+    let v = Shm.read_i64 c.shms.(next) a in
+    Shm.write_i64 c.shms.(next) a (v + 1)
+  done;
+  let _ = release c ~src:3 ~dst:0 in
+  Alcotest.(check int) "counter" 4 (Shm.read_i64 c.shms.(0) a)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "dsm"
+    [
+      ( "lrc-basic",
+        [
+          Alcotest.test_case "propagation" `Quick test_basic_propagation;
+          Alcotest.test_case "write notice invalidates" `Quick
+            test_write_notice_invalidates;
+          Alcotest.test_case "vc advances" `Quick test_vc_advances;
+          Alcotest.test_case "no fault for own data" `Quick
+            test_no_fault_for_own_data;
+          Alcotest.test_case "release w/o writes" `Quick
+            test_release_without_writes_carries_no_interval;
+          Alcotest.test_case "empty diff" `Quick test_empty_diff_release;
+        ] );
+      ( "lrc-causality",
+        [
+          Alcotest.test_case "transitivity" `Quick test_transitivity;
+          Alcotest.test_case "tailored piggyback" `Quick
+            test_tailored_piggyback;
+          Alcotest.test_case "full history to new peer" `Quick
+            test_untold_peer_gets_full_history;
+          Alcotest.test_case "NT triggers interval fetch" `Quick
+            test_nontransitive_triggers_interval_fetch;
+          Alcotest.test_case "barrier union has no gaps" `Quick
+            test_barrier_union_has_no_gaps;
+          Alcotest.test_case "lock handoff chain" `Quick
+            test_lock_handoff_chain;
+        ] );
+      ( "lrc-multiwriter",
+        [
+          Alcotest.test_case "false sharing" `Quick
+            test_multiple_writers_false_sharing;
+          Alcotest.test_case "local mods preserved" `Quick
+            test_concurrent_writer_preserves_local_mods;
+          Alcotest.test_case "orphan diff path" `Quick test_orphan_diff_path;
+        ] );
+      ( "lrc-mechanisms",
+        [
+          Alcotest.test_case "whole-page fetch" `Quick
+            test_whole_page_fetch_for_long_histories;
+          Alcotest.test_case "metadata gc" `Quick test_metadata_gc;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "serve excludes open writes" `Quick
+            test_serve_page_excludes_open_writes;
+          Alcotest.test_case "double close publishes once" `Quick
+            test_concurrent_release_during_cpu_yield;
+          Alcotest.test_case "long page history" `Quick
+            test_many_interval_page_history_correct;
+        ] );
+      ( "lrc-strategies",
+        [
+          Alcotest.test_case "update keeps pages valid" `Quick
+            test_update_strategy_keeps_pages_valid;
+          Alcotest.test_case "invalidate attaches nothing" `Quick
+            test_invalidate_strategy_attaches_nothing;
+          Alcotest.test_case "hybrid attaches own only" `Quick
+            test_hybrid_update_attaches_own_only;
+          Alcotest.test_case "stale base caches eager diffs" `Quick
+            test_update_onto_stale_base_caches;
+          Alcotest.test_case "lock chain under update" `Quick
+            test_update_strategy_lock_chain;
+        ] );
+      ( "lrc-properties",
+        qcheck [ prop_lock_chain_counter; prop_false_sharing_slots ] );
+    ]

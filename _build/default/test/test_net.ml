@@ -1,0 +1,288 @@
+(* Tests for the simulated network stack: shared medium, datagram service,
+   sliding-window reliable delivery. *)
+
+module Engine = Carlos_sim.Engine
+module Rng = Carlos_sim.Rng
+module Medium = Carlos_net.Medium
+module Datagram = Carlos_net.Datagram
+module Sliding_window = Carlos_net.Sliding_window
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* 10 Mbit/s in bytes per second, as in the paper's Ethernet. *)
+let ethernet_bw = 1_250_000.0
+
+let make_medium ?(nodes = 4) ?(latency = 1e-4) ?(bandwidth = ethernet_bw) eng =
+  Medium.create eng ~nodes ~latency ~bandwidth
+
+(* ------------------------------------------------------------------ *)
+(* Medium *)
+
+let test_medium_point_to_point_latency () =
+  let eng = Engine.create () in
+  let medium = make_medium eng in
+  let arrival = ref (-1.0) in
+  Medium.set_handler medium ~node:1 (fun ~src ~size:_ _payload ->
+      Alcotest.(check int) "src" 0 src;
+      arrival := Engine.now eng);
+  Engine.spawn eng (fun () ->
+      Medium.send medium ~src:0 ~dst:1 ~size:1250 "hello");
+  Engine.run eng;
+  (* 1250 bytes at 1.25 MB/s = 1 ms transmission + 0.1 ms latency. *)
+  check_float "arrival time" 0.0011 !arrival
+
+let test_medium_contention_serializes () =
+  let eng = Engine.create () in
+  let medium = make_medium eng in
+  let arrivals = ref [] in
+  Medium.set_handler medium ~node:3 (fun ~src ~size:_ _payload ->
+      arrivals := (src, Engine.now eng) :: !arrivals);
+  Engine.spawn eng (fun () ->
+      Medium.send medium ~src:0 ~dst:3 ~size:1250 ();
+      Medium.send medium ~src:1 ~dst:3 ~size:1250 ());
+  Engine.run eng;
+  (match List.rev !arrivals with
+  | [ (0, t0); (1, t1) ] ->
+    check_float "first frame" 0.0011 t0;
+    (* Second frame waits for the wire: 2 ms transmission + latency. *)
+    check_float "second frame" 0.0021 t1
+  | _ -> Alcotest.fail "expected two arrivals");
+  check_float "wire busy" 0.002 (Medium.wire_busy_time medium)
+
+let test_medium_stats () =
+  let eng = Engine.create () in
+  let medium = make_medium eng in
+  Medium.set_handler medium ~node:1 (fun ~src:_ ~size:_ _ -> ());
+  Engine.spawn eng (fun () ->
+      Medium.send medium ~src:0 ~dst:1 ~size:100 ();
+      Medium.send medium ~src:0 ~dst:1 ~size:200 ());
+  Engine.run eng;
+  Alcotest.(check int) "frames" 2 (Medium.frames_sent medium);
+  Alcotest.(check int) "bytes" 300 (Medium.bytes_sent medium);
+  let util = Medium.utilization medium ~elapsed:1.0 in
+  check_float "utilization" (300.0 /. ethernet_bw) util;
+  Medium.reset_stats medium;
+  Alcotest.(check int) "frames reset" 0 (Medium.frames_sent medium);
+  check_float "busy reset" 0.0 (Medium.wire_busy_time medium)
+
+let test_medium_pair_fifo () =
+  (* Frames between one (src, dst) pair never reorder. *)
+  let eng = Engine.create () in
+  let medium = make_medium eng in
+  let got = ref [] in
+  Medium.set_handler medium ~node:2 (fun ~src:_ ~size:_ i ->
+      got := i :: !got);
+  Engine.spawn eng (fun () ->
+      for i = 1 to 20 do
+        Medium.send medium ~src:0 ~dst:2 ~size:(100 + i) i
+      done);
+  Engine.run eng;
+  Alcotest.(check (list int)) "in order" (List.init 20 (fun i -> i + 1))
+    (List.rev !got)
+
+(* ------------------------------------------------------------------ *)
+(* Datagram *)
+
+let test_datagram_adds_headers () =
+  let eng = Engine.create () in
+  let medium = make_medium eng in
+  let dg = Datagram.create medium () in
+  let seen_size = ref 0 in
+  Datagram.set_handler dg ~node:1 (fun ~src:_ ~size _ -> seen_size := size);
+  Engine.spawn eng (fun () ->
+      Datagram.send dg ~src:0 ~dst:1 ~payload_bytes:100 ());
+  Engine.run eng;
+  Alcotest.(check int) "handler sees payload size" 100 !seen_size;
+  Alcotest.(check int) "wire sees headers"
+    (100 + Datagram.header_bytes)
+    (Medium.bytes_sent medium)
+
+let test_datagram_loss () =
+  let eng = Engine.create () in
+  let medium = make_medium eng in
+  let rng = Rng.create ~seed:11 in
+  let dg = Datagram.create medium ~loss:0.5 ~rng () in
+  let received = ref 0 in
+  Datagram.set_handler dg ~node:1 (fun ~src:_ ~size:_ _ -> incr received);
+  let total = 1000 in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to total do
+        Datagram.send dg ~src:0 ~dst:1 ~payload_bytes:10 ()
+      done);
+  Engine.run eng;
+  Alcotest.(check int) "sent counted" total (Datagram.datagrams_sent dg);
+  Alcotest.(check int) "received + dropped = sent" total
+    (!received + Datagram.datagrams_dropped dg);
+  if Datagram.datagrams_dropped dg < 300 || Datagram.datagrams_dropped dg > 700
+  then Alcotest.fail "loss far from 50%"
+
+let test_datagram_loss_requires_rng () =
+  let eng = Engine.create () in
+  let medium = make_medium eng in
+  Alcotest.check_raises "rng required"
+    (Invalid_argument "Datagram.create: loss requires an rng") (fun () ->
+      ignore (Datagram.create medium ~loss:0.1 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Sliding window *)
+
+let make_sw ?(loss = 0.0) ?(seed = 1) ?(window = 8) ?(rto = 0.05) eng =
+  let medium = make_medium eng in
+  let rng = Rng.create ~seed in
+  let dg =
+    if loss > 0.0 then Datagram.create medium ~loss ~rng ()
+    else Datagram.create medium ()
+  in
+  Sliding_window.create eng dg ~window ~rto
+
+let test_sw_basic_delivery () =
+  let eng = Engine.create () in
+  let sw = make_sw eng in
+  let got = ref [] in
+  Sliding_window.set_handler sw ~node:1 (fun ~src ~size v ->
+      got := (src, size, v) :: !got);
+  Engine.spawn eng (fun () ->
+      Sliding_window.send sw ~src:0 ~dst:1 ~payload_bytes:64 "a";
+      Sliding_window.send sw ~src:0 ~dst:1 ~payload_bytes:128 "b");
+  Engine.run eng;
+  Alcotest.(check (list (triple int int string)))
+    "both delivered in order"
+    [ (0, 64, "a"); (0, 128, "b") ]
+    (List.rev !got);
+  Alcotest.(check int) "no retransmissions" 0
+    (Sliding_window.retransmissions sw)
+
+let test_sw_window_limits_inflight () =
+  let eng = Engine.create () in
+  (* Window of 2: the 10 sends must still all arrive, in order. *)
+  let sw = make_sw ~window:2 eng in
+  let got = ref [] in
+  Sliding_window.set_handler sw ~node:1 (fun ~src:_ ~size:_ v ->
+      got := v :: !got);
+  Engine.spawn eng (fun () ->
+      for i = 1 to 10 do
+        Sliding_window.send sw ~src:0 ~dst:1 ~payload_bytes:32 i
+      done);
+  Engine.run eng;
+  Alcotest.(check (list int)) "all delivered in order"
+    (List.init 10 (fun i -> i + 1))
+    (List.rev !got)
+
+let run_loss_scenario ~loss ~seed ~count =
+  let eng = Engine.create () in
+  let sw = make_sw ~loss ~seed ~window:4 ~rto:0.02 eng in
+  let got = ref [] in
+  Sliding_window.set_handler sw ~node:2 (fun ~src:_ ~size:_ v ->
+      got := v :: !got);
+  Engine.spawn eng (fun () ->
+      for i = 1 to count do
+        Sliding_window.send sw ~src:0 ~dst:2 ~payload_bytes:100 i
+      done);
+  Engine.run eng;
+  List.rev !got
+
+let test_sw_recovers_from_loss () =
+  let delivered = run_loss_scenario ~loss:0.2 ~seed:5 ~count:50 in
+  Alcotest.(check (list int)) "exactly once, in order"
+    (List.init 50 (fun i -> i + 1))
+    delivered
+
+let prop_sw_exactly_once_in_order =
+  QCheck.Test.make ~name:"sliding window: exactly-once in-order under loss"
+    ~count:30
+    QCheck.(pair (int_range 1 1000) (int_range 1 60))
+    (fun (seed, count) ->
+      let delivered = run_loss_scenario ~loss:0.3 ~seed ~count in
+      delivered = List.init count (fun i -> i + 1))
+
+let test_sw_bidirectional () =
+  let eng = Engine.create () in
+  let sw = make_sw ~loss:0.15 ~seed:9 eng in
+  let got0 = ref [] and got1 = ref [] in
+  Sliding_window.set_handler sw ~node:0 (fun ~src:_ ~size:_ v ->
+      got0 := v :: !got0);
+  Sliding_window.set_handler sw ~node:1 (fun ~src:_ ~size:_ v ->
+      got1 := v :: !got1);
+  Engine.spawn eng (fun () ->
+      for i = 1 to 20 do
+        Sliding_window.send sw ~src:0 ~dst:1 ~payload_bytes:40 i;
+        Sliding_window.send sw ~src:1 ~dst:0 ~payload_bytes:40 (-i)
+      done);
+  Engine.run eng;
+  Alcotest.(check (list int)) "0 -> 1" (List.init 20 (fun i -> i + 1))
+    (List.rev !got1);
+  Alcotest.(check (list int)) "1 -> 0" (List.init 20 (fun i -> -(i + 1)))
+    (List.rev !got0)
+
+let test_sw_independent_pairs () =
+  (* Loss on one connection must not delay another pair's messages
+     indefinitely; each pair has its own sequence space. *)
+  let eng = Engine.create () in
+  let sw = make_sw ~loss:0.0 eng in
+  let got = ref [] in
+  Sliding_window.set_handler sw ~node:3 (fun ~src ~size:_ v ->
+      got := (src, v) :: !got);
+  Engine.spawn eng (fun () ->
+      Sliding_window.send sw ~src:0 ~dst:3 ~payload_bytes:10 "a0";
+      Sliding_window.send sw ~src:1 ~dst:3 ~payload_bytes:10 "b0";
+      Sliding_window.send sw ~src:0 ~dst:3 ~payload_bytes:10 "a1");
+  Engine.run eng;
+  let from src =
+    List.filter_map (fun (s, v) -> if s = src then Some v else None)
+      (List.rev !got)
+  in
+  Alcotest.(check (list string)) "from 0" [ "a0"; "a1" ] (from 0);
+  Alcotest.(check (list string)) "from 1" [ "b0" ] (from 1)
+
+let test_sw_stats () =
+  let eng = Engine.create () in
+  let sw = make_sw eng in
+  Sliding_window.set_handler sw ~node:1 (fun ~src:_ ~size:_ () -> ());
+  Engine.spawn eng (fun () ->
+      Sliding_window.send sw ~src:0 ~dst:1 ~payload_bytes:10 ();
+      Sliding_window.send sw ~src:0 ~dst:1 ~payload_bytes:10 ());
+  Engine.run eng;
+  Alcotest.(check int) "sent" 2 (Sliding_window.messages_sent sw);
+  Alcotest.(check int) "delivered" 2 (Sliding_window.messages_delivered sw);
+  Alcotest.(check bool) "acks flowed" true (Sliding_window.acks_sent sw > 0);
+  Sliding_window.reset_stats sw;
+  Alcotest.(check int) "reset" 0 (Sliding_window.messages_sent sw)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "medium",
+        [
+          Alcotest.test_case "latency + transmission" `Quick
+            test_medium_point_to_point_latency;
+          Alcotest.test_case "contention serializes" `Quick
+            test_medium_contention_serializes;
+          Alcotest.test_case "stats" `Quick test_medium_stats;
+          Alcotest.test_case "per-pair fifo" `Quick test_medium_pair_fifo;
+        ] );
+      ( "datagram",
+        [
+          Alcotest.test_case "headers" `Quick test_datagram_adds_headers;
+          Alcotest.test_case "loss" `Quick test_datagram_loss;
+          Alcotest.test_case "loss requires rng" `Quick
+            test_datagram_loss_requires_rng;
+        ] );
+      ( "sliding-window",
+        [
+          Alcotest.test_case "basic delivery" `Quick test_sw_basic_delivery;
+          Alcotest.test_case "window limit" `Quick
+            test_sw_window_limits_inflight;
+          Alcotest.test_case "recovers from loss" `Quick
+            test_sw_recovers_from_loss;
+          Alcotest.test_case "bidirectional under loss" `Quick
+            test_sw_bidirectional;
+          Alcotest.test_case "independent pairs" `Quick
+            test_sw_independent_pairs;
+          Alcotest.test_case "stats" `Quick test_sw_stats;
+        ]
+        @ qcheck [ prop_sw_exactly_once_in_order ] );
+    ]

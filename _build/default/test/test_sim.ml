@@ -1,0 +1,359 @@
+(* Tests for the simulation kernel: event heap, RNG, engine and fibers,
+   virtual-time resources. *)
+
+module Heap = Carlos_sim.Heap
+module Rng = Carlos_sim.Rng
+module Engine = Carlos_sim.Engine
+module Resource = Carlos_sim.Resource
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  Heap.add h ~time:3.0 ~seq:0 "c";
+  Heap.add h ~time:1.0 ~seq:1 "a";
+  Heap.add h ~time:2.0 ~seq:2 "b";
+  let popped = ref [] in
+  let rec drain () =
+    match Heap.pop_min h with
+    | None -> ()
+    | Some (_, _, v) ->
+      popped := v :: !popped;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    (List.rev !popped)
+
+let test_heap_tie_break () =
+  let h = Heap.create () in
+  Heap.add h ~time:1.0 ~seq:5 "later";
+  Heap.add h ~time:1.0 ~seq:2 "earlier";
+  (match Heap.pop_min h with
+  | Some (_, seq, v) ->
+    Alcotest.(check int) "lower seq first" 2 seq;
+    Alcotest.(check string) "value" "earlier" v
+  | None -> Alcotest.fail "heap empty");
+  Alcotest.(check int) "one left" 1 (Heap.size h)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops keys in nondecreasing order" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 1000.0) small_nat))
+    (fun pairs ->
+      let h = Heap.create () in
+      List.iteri (fun i (time, _) -> Heap.add h ~time ~seq:i i) pairs;
+      let rec drain last =
+        match Heap.pop_min h with
+        | None -> true
+        | Some (time, _, _) -> time >= last && drain time
+      in
+      drain neg_infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.bits a) (Rng.bits b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:42 in
+  let child = Rng.split a in
+  let x = Rng.bits child and y = Rng.bits a in
+  Alcotest.(check bool) "split diverges" true (x <> y)
+
+let test_rng_int_bounds () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "out of bounds"
+  done
+
+let test_rng_float_bounds () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r in
+    if v < 0.0 || v >= 1.0 then Alcotest.fail "out of bounds"
+  done
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create ~seed:3 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_delay_advances_clock () =
+  let eng = Engine.create () in
+  let seen = ref [] in
+  Engine.spawn eng (fun () ->
+      Engine.delay 1.5;
+      seen := (Engine.time (), "a") :: !seen;
+      Engine.delay 0.5;
+      seen := (Engine.time (), "b") :: !seen);
+  Engine.run eng;
+  (match List.rev !seen with
+  | [ (t1, "a"); (t2, "b") ] ->
+    check_float "first" 1.5 t1;
+    check_float "second" 2.0 t2
+  | _ -> Alcotest.fail "wrong events");
+  check_float "final clock" 2.0 (Engine.now eng)
+
+let test_engine_interleaving_deterministic () =
+  let run_once () =
+    let eng = Engine.create () in
+    let order = Buffer.create 16 in
+    let worker name dt reps =
+      Engine.spawn eng (fun () ->
+          for _ = 1 to reps do
+            Engine.delay dt;
+            Buffer.add_string order name
+          done)
+    in
+    worker "a" 1.0 4;
+    worker "b" 0.7 5;
+    Engine.run eng;
+    Buffer.contents order
+  in
+  Alcotest.(check string) "same schedule" (run_once ()) (run_once ())
+
+let test_engine_simultaneous_fifo () =
+  let eng = Engine.create () in
+  let order = ref [] in
+  for i = 0 to 4 do
+    Engine.spawn eng (fun () ->
+        Engine.delay 1.0;
+        order := i :: !order)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "spawn order preserved at ties" [ 0; 1; 2; 3; 4 ]
+    (List.rev !order)
+
+let test_engine_fork () =
+  let eng = Engine.create () in
+  let result = ref 0 in
+  Engine.spawn eng (fun () ->
+      Engine.fork (fun () ->
+          Engine.delay 2.0;
+          result := !result + 10);
+      Engine.delay 1.0;
+      result := !result + 1);
+  Engine.run eng;
+  Alcotest.(check int) "both ran" 11 !result;
+  check_float "clock at last event" 2.0 (Engine.now eng)
+
+let test_engine_fiber_exception_propagates () =
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () ->
+      Engine.delay 1.0;
+      failwith "boom");
+  Alcotest.check_raises "propagates" (Failure "boom") (fun () ->
+      Engine.run eng)
+
+let test_engine_suspend_resume () =
+  let eng = Engine.create () in
+  let resume_cell = ref None in
+  let got = ref (-1.0) in
+  Engine.spawn eng (fun () ->
+      Engine.suspend (fun resume -> resume_cell := Some resume);
+      got := Engine.time ());
+  Engine.spawn eng (fun () ->
+      Engine.delay 3.0;
+      match !resume_cell with
+      | Some resume -> resume ()
+      | None -> Alcotest.fail "not parked");
+  Engine.run eng;
+  check_float "woken at waker's time" 3.0 !got
+
+let test_engine_at_callback () =
+  let eng = Engine.create () in
+  let fired = ref (-1.0) in
+  Engine.at eng ~time:4.2 (fun () -> fired := Engine.now eng);
+  Engine.run eng;
+  check_float "callback time" 4.2 !fired
+
+(* ------------------------------------------------------------------ *)
+(* Resources *)
+
+let in_engine f =
+  let eng = Engine.create () in
+  Engine.spawn eng f;
+  Engine.run eng;
+  eng
+
+let test_ivar_blocks_until_filled () =
+  let iv = Resource.Ivar.create () in
+  let got = ref None in
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () ->
+      let v = Resource.Ivar.read iv in
+      got := Some (v, Engine.time ()));
+  Engine.spawn eng (fun () ->
+      Engine.delay 2.0;
+      Resource.Ivar.fill iv 99);
+  Engine.run eng;
+  match !got with
+  | Some (99, t) -> check_float "read at fill time" 2.0 t
+  | _ -> Alcotest.fail "read failed"
+
+let test_ivar_read_after_fill_immediate () =
+  let iv = Resource.Ivar.create () in
+  Resource.Ivar.fill iv "x";
+  let _ = in_engine (fun () ->
+      Alcotest.(check string) "immediate" "x" (Resource.Ivar.read iv)) in
+  ()
+
+let test_ivar_double_fill_rejected () =
+  let iv = Resource.Ivar.create () in
+  Resource.Ivar.fill iv 1;
+  Alcotest.check_raises "double fill"
+    (Invalid_argument "Ivar.fill: already filled") (fun () ->
+      Resource.Ivar.fill iv 2)
+
+let test_mailbox_fifo () =
+  let mb = Resource.Mailbox.create () in
+  let got = ref [] in
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 3 do
+        got := Resource.Mailbox.recv mb :: !got
+      done);
+  Engine.spawn eng (fun () ->
+      Engine.delay 1.0;
+      Resource.Mailbox.send mb "first";
+      Resource.Mailbox.send mb "second";
+      Engine.delay 1.0;
+      Resource.Mailbox.send mb "third");
+  Engine.run eng;
+  Alcotest.(check (list string)) "fifo" [ "first"; "second"; "third" ]
+    (List.rev !got)
+
+let test_fifo_resource_serializes () =
+  let eng = Engine.create () in
+  let fifo = Resource.Fifo.create () in
+  let spans = ref [] in
+  for i = 0 to 2 do
+    Engine.spawn eng (fun () ->
+        let _ = Resource.Fifo.use fifo 1.0 in
+        spans := (i, Engine.time ()) :: !spans)
+  done;
+  Engine.run eng;
+  (* Three users of a 1s resource finish at 1, 2, 3 in spawn order. *)
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "serialized in fifo order"
+    [ (0, 1.0); (1, 2.0); (2, 3.0) ]
+    (List.rev !spans);
+  check_float "busy time" 3.0 (Resource.Fifo.busy_time fifo)
+
+let test_fifo_use_reports_wait () =
+  let eng = Engine.create () in
+  let fifo = Resource.Fifo.create () in
+  let waits = ref [] in
+  for _ = 0 to 2 do
+    Engine.spawn eng (fun () ->
+        let w = Resource.Fifo.use fifo 2.0 in
+        waits := w :: !waits)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list (float 1e-9))) "waits" [ 0.0; 2.0; 4.0 ]
+    (List.sort compare !waits)
+
+let test_semaphore_counting () =
+  let eng = Engine.create () in
+  let sem = Resource.Semaphore.create 2 in
+  let finish_times = ref [] in
+  for _ = 0 to 3 do
+    Engine.spawn eng (fun () ->
+        Resource.Semaphore.wait sem;
+        Engine.delay 1.0;
+        Resource.Semaphore.signal sem;
+        finish_times := Engine.time () :: !finish_times)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list (float 1e-9))) "two at a time" [ 1.0; 1.0; 2.0; 2.0 ]
+    (List.sort compare !finish_times)
+
+let test_gate_broadcast () =
+  let eng = Engine.create () in
+  let gate = Resource.Gate.create () in
+  let woken = ref 0 in
+  for _ = 1 to 5 do
+    Engine.spawn eng (fun () ->
+        Resource.Gate.await gate;
+        incr woken)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.delay 1.0;
+      Resource.Gate.open_gate gate);
+  Engine.run eng;
+  Alcotest.(check int) "all woken" 5 !woken;
+  (* Await after open does not block. *)
+  let eng2 = Engine.create () in
+  Engine.spawn eng2 (fun () -> Resource.Gate.await gate);
+  Engine.run eng2
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "pop order" `Quick test_heap_order;
+          Alcotest.test_case "tie break by seq" `Quick test_heap_tie_break;
+        ]
+        @ qcheck [ prop_heap_sorted ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "shuffle permutes" `Quick
+            test_rng_shuffle_permutation;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "delay advances clock" `Quick
+            test_engine_delay_advances_clock;
+          Alcotest.test_case "deterministic interleaving" `Quick
+            test_engine_interleaving_deterministic;
+          Alcotest.test_case "ties are fifo" `Quick
+            test_engine_simultaneous_fifo;
+          Alcotest.test_case "fork" `Quick test_engine_fork;
+          Alcotest.test_case "fiber exception propagates" `Quick
+            test_engine_fiber_exception_propagates;
+          Alcotest.test_case "suspend/resume" `Quick
+            test_engine_suspend_resume;
+          Alcotest.test_case "at callback" `Quick test_engine_at_callback;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "ivar blocks until filled" `Quick
+            test_ivar_blocks_until_filled;
+          Alcotest.test_case "ivar immediate read" `Quick
+            test_ivar_read_after_fill_immediate;
+          Alcotest.test_case "ivar double fill" `Quick
+            test_ivar_double_fill_rejected;
+          Alcotest.test_case "mailbox fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "fifo serializes" `Quick
+            test_fifo_resource_serializes;
+          Alcotest.test_case "fifo reports wait" `Quick
+            test_fifo_use_reports_wait;
+          Alcotest.test_case "semaphore counting" `Quick
+            test_semaphore_counting;
+          Alcotest.test_case "gate broadcast" `Quick test_gate_broadcast;
+        ] );
+    ]

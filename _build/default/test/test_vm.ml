@@ -1,0 +1,392 @@
+(* Tests for the simulated paged memory: regions, pages/twins, diffs, page
+   tables, typed shared-memory access, allocator. *)
+
+module Region = Carlos_vm.Region
+module Page = Carlos_vm.Page
+module Diff = Carlos_vm.Diff
+module Page_table = Carlos_vm.Page_table
+module Shm = Carlos_vm.Shm
+module Alloc = Carlos_vm.Alloc
+
+let small_region () =
+  Region.create ~page_size:256 ~private_bytes:1024 ~noncoherent_bytes:1024
+    ~coherent_pages:8 ()
+
+(* ------------------------------------------------------------------ *)
+(* Region *)
+
+let test_region_locate () =
+  let r = small_region () in
+  (match Region.locate r (Region.private_base r + 5) with
+  | Region.Private 5 -> ()
+  | _ -> Alcotest.fail "private");
+  (match Region.locate r (Region.noncoherent_base r + 100) with
+  | Region.Noncoherent 100 -> ()
+  | _ -> Alcotest.fail "noncoherent");
+  match Region.locate r (Region.coherent_base r + 300) with
+  | Region.Coherent { page = 1; offset = 44 } -> ()
+  | _ -> Alcotest.fail "coherent"
+
+let test_region_segv () =
+  let r = small_region () in
+  let expect_segv addr =
+    match Region.locate r addr with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected segmentation violation"
+  in
+  expect_segv 0;
+  expect_segv (Region.private_base r + 1024);
+  expect_segv (Region.coherent_base r + (8 * 256))
+
+let test_region_coherent_addr () =
+  let r = small_region () in
+  let addr = Region.coherent_addr r ~page:2 ~offset:10 in
+  match Region.locate r addr with
+  | Region.Coherent { page = 2; offset = 10 } -> ()
+  | _ -> Alcotest.fail "roundtrip"
+
+let test_region_bad_page_size () =
+  match
+    Region.create ~page_size:100 ~private_bytes:0 ~noncoherent_bytes:0
+      ~coherent_pages:1 ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non power of two accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Diff *)
+
+let test_diff_empty () =
+  let twin = Bytes.make 64 'a' in
+  let current = Bytes.copy twin in
+  let d = Diff.create ~page:0 ~twin ~current in
+  Alcotest.(check bool) "empty" true (Diff.is_empty d);
+  Alcotest.(check int) "no changed bytes" 0 (Diff.changed_bytes d)
+
+let test_diff_roundtrip_simple () =
+  let twin = Bytes.make 64 'a' in
+  let current = Bytes.copy twin in
+  Bytes.set current 3 'x';
+  Bytes.set current 4 'y';
+  Bytes.set current 60 'z';
+  let d = Diff.create ~page:0 ~twin ~current in
+  Alcotest.(check int) "two runs" 2 (List.length (Diff.runs d));
+  Alcotest.(check int) "changed" 3 (Diff.changed_bytes d);
+  let target = Bytes.copy twin in
+  Diff.apply d target;
+  Alcotest.(check string) "reconstructs" (Bytes.to_string current)
+    (Bytes.to_string target)
+
+let test_diff_idempotent () =
+  let twin = Bytes.make 32 '\000' in
+  let current = Bytes.copy twin in
+  Bytes.set current 10 'q';
+  let d = Diff.create ~page:0 ~twin ~current in
+  let target = Bytes.copy twin in
+  Diff.apply d target;
+  Diff.apply d target;
+  Alcotest.(check string) "idempotent" (Bytes.to_string current)
+    (Bytes.to_string target)
+
+let test_diff_size_accounting () =
+  let twin = Bytes.make 64 'a' in
+  let current = Bytes.copy twin in
+  Bytes.set current 0 'x';
+  let d = Diff.create ~page:0 ~twin ~current in
+  (* 8 header + 4 descriptor + 1 data byte *)
+  Alcotest.(check int) "wire size" 13 (Diff.size_bytes d)
+
+let bytes_gen len =
+  QCheck.Gen.(map Bytes.of_string (string_size ~gen:printable (return len)))
+
+let prop_diff_roundtrip =
+  let gen =
+    QCheck.make
+      ~print:(fun (a, b) -> Bytes.to_string a ^ " / " ^ Bytes.to_string b)
+      QCheck.Gen.(bytes_gen 128 >>= fun a -> bytes_gen 128 >|= fun b -> (a, b))
+  in
+  QCheck.Test.make ~name:"diff: apply(create(t,c), copy t) = c" ~count:300 gen
+    (fun (twin, current) ->
+      let d = Diff.create ~page:0 ~twin ~current in
+      let target = Bytes.copy twin in
+      Diff.apply d target;
+      Bytes.equal target current)
+
+let prop_diff_disjoint_writers_commute =
+  (* Two writers touching disjoint ranges of a page: applying their diffs
+     in either order yields the same result (multiple-writer protocol). *)
+  let gen = QCheck.(pair (int_range 0 63) (int_range 64 127)) in
+  QCheck.Test.make ~name:"diff: disjoint diffs commute" ~count:200 gen
+    (fun (i, j) ->
+      let base = Bytes.make 128 '\000' in
+      let w1 = Bytes.copy base and w2 = Bytes.copy base in
+      Bytes.set w1 i 'A';
+      Bytes.set w2 j 'B';
+      let d1 = Diff.create ~page:0 ~twin:base ~current:w1 in
+      let d2 = Diff.create ~page:0 ~twin:base ~current:w2 in
+      let t12 = Bytes.copy base and t21 = Bytes.copy base in
+      Diff.apply d1 t12;
+      Diff.apply d2 t12;
+      Diff.apply d2 t21;
+      Diff.apply d1 t21;
+      Bytes.equal t12 t21 && Bytes.get t12 i = 'A' && Bytes.get t12 j = 'B')
+
+(* ------------------------------------------------------------------ *)
+(* Page *)
+
+let test_page_twin_and_diff () =
+  let p = Page.create ~size:64 in
+  Alcotest.(check bool) "starts read-only" true (Page.state p = Page.Read_only);
+  Page.make_twin p;
+  Alcotest.(check bool) "read-write" true (Page.state p = Page.Read_write);
+  Bytes.set (Page.data p) 7 'k';
+  let d = Page.encode_diff p ~page_index:3 in
+  Alcotest.(check bool) "back to read-only" true
+    (Page.state p = Page.Read_only);
+  Alcotest.(check int) "diff page" 3 (Diff.page d);
+  Alcotest.(check int) "one changed byte" 1 (Diff.changed_bytes d)
+
+let test_page_invalidate_requires_clean () =
+  let p = Page.create ~size:64 in
+  Page.make_twin p;
+  (match Page.invalidate p with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "invalidate of dirty page accepted");
+  let (_ : Diff.t) = Page.encode_diff p ~page_index:0 in
+  Page.invalidate p;
+  Alcotest.(check bool) "invalid" true (Page.state p = Page.Invalid)
+
+let test_page_install_and_validate () =
+  let p = Page.create ~size:8 in
+  Page.invalidate p;
+  Page.install p (Bytes.of_string "abcdefgh");
+  Alcotest.(check bool) "valid after install" true
+    (Page.state p = Page.Read_only);
+  Alcotest.(check string) "contents" "abcdefgh"
+    (Bytes.to_string (Page.data p));
+  Page.invalidate p;
+  Page.validate p;
+  Alcotest.(check bool) "valid again" true (Page.state p = Page.Read_only)
+
+(* ------------------------------------------------------------------ *)
+(* Page table *)
+
+let test_page_table_fault_dispatch () =
+  let pt = Page_table.create ~pages:4 ~page_size:64 in
+  let read_faults = ref [] and write_faults = ref [] in
+  Page_table.set_read_fault pt (fun i ->
+      read_faults := i :: !read_faults;
+      Page.validate (Page_table.page pt i));
+  Page_table.set_write_fault pt (fun i ->
+      write_faults := i :: !write_faults;
+      Page.make_twin (Page_table.page pt i));
+  (* Fresh pages are readable without faulting. *)
+  Page_table.ensure_readable pt 0;
+  Alcotest.(check (list int)) "no read fault" [] !read_faults;
+  (* Write takes a write fault once. *)
+  Page_table.ensure_writable pt 0;
+  Page_table.ensure_writable pt 0;
+  Alcotest.(check (list int)) "one write fault" [ 0 ] !write_faults;
+  (* Invalid page takes a read fault on read. *)
+  Page.invalidate (Page_table.page pt 1);
+  Page_table.ensure_readable pt 1;
+  Alcotest.(check (list int)) "one read fault" [ 1 ] !read_faults;
+  Alcotest.(check int) "stats reads" 1 (Page_table.read_faults pt);
+  Alcotest.(check int) "stats writes" 1 (Page_table.write_faults pt)
+
+let test_page_table_write_to_invalid_takes_both_faults () =
+  let pt = Page_table.create ~pages:1 ~page_size:64 in
+  let log = ref [] in
+  Page_table.set_read_fault pt (fun i ->
+      log := `Read :: !log;
+      Page.validate (Page_table.page pt i));
+  Page_table.set_write_fault pt (fun i ->
+      log := `Write :: !log;
+      Page.make_twin (Page_table.page pt i));
+  Page.invalidate (Page_table.page pt 0);
+  Page_table.ensure_writable pt 0;
+  Alcotest.(check bool) "read then write fault" true
+    (List.rev !log = [ `Read; `Write ])
+
+let test_page_table_broken_handler_detected () =
+  let pt = Page_table.create ~pages:1 ~page_size:64 in
+  Page_table.set_read_fault pt (fun _ -> ());
+  Page.invalidate (Page_table.page pt 0);
+  match Page_table.ensure_readable pt 0 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "handler that fixes nothing must be detected"
+
+(* ------------------------------------------------------------------ *)
+(* Shm *)
+
+let make_shm () =
+  let region = small_region () in
+  let noncoherent = Bytes.make (Region.noncoherent_bytes region) '\000' in
+  let shm = Shm.create ~region ~noncoherent in
+  (* Identity fault handlers good enough for access tests. *)
+  let pt = Shm.page_table shm in
+  Page_table.set_read_fault pt (fun i -> Page.validate (Page_table.page pt i));
+  Page_table.set_write_fault pt (fun i -> Page.make_twin (Page_table.page pt i));
+  (region, shm)
+
+let test_shm_private_rw () =
+  let region, shm = make_shm () in
+  let addr = Region.private_base region + 16 in
+  Shm.write_i64 shm addr 12345;
+  Alcotest.(check int) "i64 roundtrip" 12345 (Shm.read_i64 shm addr)
+
+let test_shm_coherent_rw () =
+  let region, shm = make_shm () in
+  let addr = Region.coherent_addr region ~page:3 ~offset:8 in
+  Shm.write_f64 shm addr 3.25;
+  Alcotest.(check (float 0.0)) "f64 roundtrip" 3.25 (Shm.read_f64 shm addr)
+
+let test_shm_noncoherent_shared_between_views () =
+  let region = small_region () in
+  let noncoherent = Bytes.make (Region.noncoherent_bytes region) '\000' in
+  let a = Shm.create ~region ~noncoherent in
+  let b = Shm.create ~region ~noncoherent in
+  let addr = Region.noncoherent_base region + 8 in
+  Shm.write_i64 a addr 77;
+  Alcotest.(check int) "visible in the other view" 77 (Shm.read_i64 b addr)
+
+let test_shm_unaligned_rejected () =
+  let region, shm = make_shm () in
+  let addr = Region.private_base region + 3 in
+  match Shm.read_i64 shm addr with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unaligned accepted"
+
+let test_shm_bulk_cross_page_rejected () =
+  let region, shm = make_shm () in
+  let addr = Region.coherent_addr region ~page:0 ~offset:250 in
+  match Shm.write_bytes shm addr (Bytes.make 16 'x') with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "cross-page bulk write accepted"
+
+let test_shm_u8 () =
+  let region, shm = make_shm () in
+  let addr = Region.coherent_addr region ~page:1 ~offset:13 in
+  Shm.write_u8 shm addr 200;
+  Alcotest.(check int) "u8" 200 (Shm.read_u8 shm addr)
+
+(* ------------------------------------------------------------------ *)
+(* Alloc *)
+
+let test_alloc_basic () =
+  let a = Alloc.create ~base:1000 ~size:256 in
+  let p1 = Alloc.alloc a 10 in
+  let p2 = Alloc.alloc a 10 in
+  Alcotest.(check bool) "disjoint" true (abs (p2 - p1) >= 10);
+  Alcotest.(check int) "live" 20 (Alloc.live_bytes a)
+
+let test_alloc_alignment () =
+  let a = Alloc.create ~base:1001 ~size:256 in
+  let p = Alloc.alloc a ~align:16 10 in
+  Alcotest.(check int) "aligned" 0 (p mod 16)
+
+let test_alloc_exhaustion () =
+  let a = Alloc.create ~base:0 ~size:64 in
+  let _ = Alloc.alloc a 64 in
+  match Alloc.alloc a 1 with
+  | exception Out_of_memory -> ()
+  | _ -> Alcotest.fail "expected Out_of_memory"
+
+let test_alloc_free_reuse () =
+  let a = Alloc.create ~base:0 ~size:64 in
+  let p1 = Alloc.alloc a 32 in
+  let _p2 = Alloc.alloc a 32 in
+  Alloc.free a ~addr:p1 ~size:32;
+  let p3 = Alloc.alloc a 32 in
+  Alcotest.(check int) "reused" p1 p3
+
+let test_alloc_coalesce () =
+  let a = Alloc.create ~base:0 ~size:96 in
+  let p1 = Alloc.alloc a 32 in
+  let p2 = Alloc.alloc a 32 in
+  let p3 = Alloc.alloc a 32 in
+  Alloc.free a ~addr:p1 ~size:32;
+  Alloc.free a ~addr:p2 ~size:32;
+  Alloc.free a ~addr:p3 ~size:32;
+  (* After coalescing we can allocate the whole arena again. *)
+  let p = Alloc.alloc a 96 in
+  Alcotest.(check int) "full arena" 0 p
+
+let prop_alloc_no_overlap =
+  QCheck.Test.make ~name:"alloc: live blocks never overlap" ~count:100
+    QCheck.(small_list (int_range 1 64))
+    (fun sizes ->
+      let a = Alloc.create ~base:0 ~size:65536 in
+      let blocks = List.map (fun n -> (Alloc.alloc a n, n)) sizes in
+      let sorted = List.sort compare blocks in
+      let rec disjoint = function
+        | (a1, s1) :: ((a2, _) :: _ as rest) ->
+          a1 + s1 <= a2 && disjoint rest
+        | [ _ ] | [] -> true
+      in
+      disjoint sorted)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "region",
+        [
+          Alcotest.test_case "locate" `Quick test_region_locate;
+          Alcotest.test_case "segv" `Quick test_region_segv;
+          Alcotest.test_case "coherent addr roundtrip" `Quick
+            test_region_coherent_addr;
+          Alcotest.test_case "bad page size" `Quick test_region_bad_page_size;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "empty" `Quick test_diff_empty;
+          Alcotest.test_case "roundtrip" `Quick test_diff_roundtrip_simple;
+          Alcotest.test_case "idempotent" `Quick test_diff_idempotent;
+          Alcotest.test_case "size accounting" `Quick
+            test_diff_size_accounting;
+        ]
+        @ qcheck [ prop_diff_roundtrip; prop_diff_disjoint_writers_commute ]
+      );
+      ( "page",
+        [
+          Alcotest.test_case "twin and diff" `Quick test_page_twin_and_diff;
+          Alcotest.test_case "invalidate requires clean" `Quick
+            test_page_invalidate_requires_clean;
+          Alcotest.test_case "install and validate" `Quick
+            test_page_install_and_validate;
+        ] );
+      ( "page-table",
+        [
+          Alcotest.test_case "fault dispatch" `Quick
+            test_page_table_fault_dispatch;
+          Alcotest.test_case "write to invalid: both faults" `Quick
+            test_page_table_write_to_invalid_takes_both_faults;
+          Alcotest.test_case "broken handler detected" `Quick
+            test_page_table_broken_handler_detected;
+        ] );
+      ( "shm",
+        [
+          Alcotest.test_case "private rw" `Quick test_shm_private_rw;
+          Alcotest.test_case "coherent rw" `Quick test_shm_coherent_rw;
+          Alcotest.test_case "noncoherent shared" `Quick
+            test_shm_noncoherent_shared_between_views;
+          Alcotest.test_case "unaligned rejected" `Quick
+            test_shm_unaligned_rejected;
+          Alcotest.test_case "bulk cross-page rejected" `Quick
+            test_shm_bulk_cross_page_rejected;
+          Alcotest.test_case "u8" `Quick test_shm_u8;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "basic" `Quick test_alloc_basic;
+          Alcotest.test_case "alignment" `Quick test_alloc_alignment;
+          Alcotest.test_case "exhaustion" `Quick test_alloc_exhaustion;
+          Alcotest.test_case "free and reuse" `Quick test_alloc_free_reuse;
+          Alcotest.test_case "coalesce" `Quick test_alloc_coalesce;
+        ]
+        @ qcheck [ prop_alloc_no_overlap ] );
+    ]
