@@ -1,0 +1,19 @@
+.PHONY: all build test fmt check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest --force
+
+# Formatting gate: dune files must be dune-fmt clean (see dune-project;
+# OCaml sources are not yet under ocamlformat).
+fmt:
+	dune build @fmt
+
+check: build fmt test
+
+clean:
+	dune clean

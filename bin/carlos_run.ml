@@ -2,16 +2,31 @@
 
    Run any of the paper's applications in any variant on a configurable
    cluster and print the paper-style report row plus the per-node
-   execution breakdown. *)
+   execution breakdown.  The run's full observability registry can be
+   exported as a Chrome trace ([--trace out.json], open in
+   chrome://tracing or ui.perfetto.dev) and as a metrics dump
+   ([--metrics], [--metrics-json out.jsonl]). *)
 
 module System = Carlos.System
 module Cost = Carlos_dsm.Cost
+module Obs = Carlos_obs.Obs
 module Tsp = Carlos_apps.Tsp
 module Qsort = Carlos_apps.Qsort
 module Water = Carlos_apps.Water
 module Harness = Carlos_apps.Harness
 
 open Cmdliner
+
+type opts = {
+  nodes : int;
+  variant : string;
+  costs : string;
+  seed : int;
+  breakdown : bool;
+  trace_file : string option;
+  metrics : bool;
+  metrics_json : string option;
+}
 
 let nodes_arg =
   let doc = "Number of workstations in the simulated cluster." in
@@ -37,8 +52,37 @@ let breakdown_arg =
   Arg.(value & flag & info [ "breakdown" ] ~doc)
 
 let trace_arg =
-  let doc = "Print the last message-level trace events of the run." in
-  Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N" ~doc)
+  let doc =
+    "Record the run's typed event trace and write it to $(docv) as Chrome \
+     trace_event JSON (open in chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Print the full metrics registry (every counter, gauge and histogram \
+     of every layer) after the run."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let metrics_json_arg =
+  let doc = "Write the metrics registry to $(docv) as JSONL." in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+
+let opts_term =
+  let mk nodes variant costs seed breakdown trace_file metrics metrics_json =
+    { nodes; variant; costs; seed; breakdown; trace_file; metrics;
+      metrics_json }
+  in
+  Term.(
+    const mk $ nodes_arg $ variant_arg $ costs_arg $ seed_arg $ breakdown_arg
+    $ trace_arg $ metrics_arg $ metrics_json_arg)
 
 let costs_of_string = function
   | "default" -> Ok Cost.default
@@ -46,28 +90,49 @@ let costs_of_string = function
   | "fast-network" -> Ok Cost.fast_network
   | s -> Error (Printf.sprintf "unknown cost table %S" s)
 
-let finish ~breakdown ~trace ~sys ~label ~ok report =
+let with_file file f =
+  let oc = open_out file in
+  let ppf = Format.formatter_of_out_channel oc in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  close_out oc
+
+let finish ~opts ~sys ~label ~ok report =
   Harness.pp_header Format.std_formatter ();
   Harness.pp_row Format.std_formatter
     (Harness.row ~label ~nodes:(Array.length report.System.per_node)
        ~base:report.System.wall ~ok report);
-  if breakdown then
+  if opts.breakdown then
     Harness.pp_breakdown Format.std_formatter [ (label, report) ];
-  if trace > 0 then begin
-    let events = Carlos_sim.Trace.events (System.trace sys) in
-    let skip = max 0 (List.length events - trace) in
-    List.iteri
-      (fun i e ->
-        if i >= skip then
-          Format.printf "%a@." Carlos_sim.Trace.pp_event e)
-      events
-  end;
-  if ok then `Ok () else `Error (false, "application-level check failed")
+  let obs = System.obs sys in
+  try
+    (match opts.trace_file with
+    | None -> ()
+    | Some file ->
+      with_file file (fun ppf -> Obs.pp_chrome_trace ppf obs);
+      Format.printf "trace: %d events -> %s@." (List.length (Obs.events obs))
+        file);
+    let snap = lazy (Obs.snapshot obs) in
+    (match opts.metrics_json with
+    | None -> ()
+    | Some file ->
+      with_file file (fun ppf -> Obs.pp_metrics_jsonl ppf (Lazy.force snap)));
+    if opts.metrics then begin
+      Format.printf "metrics:@.";
+      Obs.pp_metrics Format.std_formatter (Lazy.force snap)
+    end;
+    if ok then `Ok () else `Error (false, "application-level check failed")
+  with Sys_error msg -> `Error (false, "cannot write export: " ^ msg)
 
-let run_tsp nodes variant costs seed breakdown trace =
+let make_system ~opts cfg =
+  let sys = System.create cfg in
+  if opts.trace_file <> None then System.set_tracing sys true;
+  sys
+
+let run_tsp opts =
   match
-    ( costs_of_string costs,
-      match variant with
+    ( costs_of_string opts.costs,
+      match opts.variant with
       | "lock" -> Ok Tsp.Lock
       | "hybrid" | "hybrid-1" -> Ok Tsp.Hybrid
       | "hybrid-all-release" -> Ok Tsp.Hybrid_all_release
@@ -75,22 +140,26 @@ let run_tsp nodes variant costs seed breakdown trace =
   with
   | Error e, _ | _, Error e -> `Error (false, e)
   | Ok costs, Ok variant ->
-    let cfg = { (System.default_config ~nodes) with System.costs; seed } in
-    let sys = System.create cfg in
-    if trace > 0 then System.set_tracing sys true;
+    let cfg =
+      { (System.default_config ~nodes:opts.nodes) with
+        System.costs;
+        seed = opts.seed
+      }
+    in
+    let sys = make_system ~opts cfg in
     let p = Tsp.default_params in
     let r = Tsp.run sys variant p in
     Format.printf "TSP: best tour %d (reference %d), %d nodes visited@."
       r.Tsp.best (Tsp.solve_reference p) r.Tsp.visited;
-    finish ~breakdown ~trace ~sys
+    finish ~opts ~sys
       ~label:("TSP/" ^ Tsp.variant_name variant)
       ~ok:(r.Tsp.best = Tsp.solve_reference p)
       r.Tsp.report
 
-let run_qsort nodes variant costs seed breakdown trace =
+let run_qsort opts =
   match
-    ( costs_of_string costs,
-      match variant with
+    ( costs_of_string opts.costs,
+      match opts.variant with
       | "lock" -> Ok Qsort.Lock
       | "hybrid" | "hybrid-1" -> Ok Qsort.Hybrid1
       | "hybrid-2" -> Ok Qsort.Hybrid2
@@ -100,20 +169,21 @@ let run_qsort nodes variant costs seed breakdown trace =
   | Error e, _ | _, Error e -> `Error (false, e)
   | Ok costs, Ok variant ->
     let p = Qsort.default_params in
-    let cfg = { (Qsort.config ~nodes p) with System.costs; seed } in
-    let sys = System.create cfg in
-    if trace > 0 then System.set_tracing sys true;
+    let cfg =
+      { (Qsort.config ~nodes:opts.nodes p) with System.costs; seed = opts.seed }
+    in
+    let sys = make_system ~opts cfg in
     let r = Qsort.run sys variant p in
     Format.printf "Quicksort: %d elements, %d leaves, sorted=%b@."
       p.Qsort.elements r.Qsort.leaves r.Qsort.sorted;
-    finish ~breakdown ~trace ~sys
+    finish ~opts ~sys
       ~label:("QS/" ^ Qsort.variant_name variant)
       ~ok:r.Qsort.sorted r.Qsort.report
 
-let run_water nodes variant costs seed breakdown trace =
+let run_water opts =
   match
-    ( costs_of_string costs,
-      match variant with
+    ( costs_of_string opts.costs,
+      match opts.variant with
       | "lock" -> Ok Water.Lock
       | "hybrid" -> Ok Water.Hybrid
       | "hybrid-all-release" -> Ok Water.Hybrid_all_release
@@ -121,16 +191,27 @@ let run_water nodes variant costs seed breakdown trace =
   with
   | Error e, _ | _, Error e -> `Error (false, e)
   | Ok costs, Ok variant ->
-    let cfg = { (System.default_config ~nodes) with System.costs; seed } in
-    let sys = System.create cfg in
-    if trace > 0 then System.set_tracing sys true;
+    let cfg =
+      { (System.default_config ~nodes:opts.nodes) with
+        System.costs;
+        seed = opts.seed
+      }
+    in
+    let sys = make_system ~opts cfg in
     let p = Water.default_params in
     let r = Water.run sys variant p in
     Format.printf "Water: %d molecules, %d steps, energy %.6f (ok=%b)@."
       p.Water.molecules p.Water.steps r.Water.energy r.Water.energy_ok;
-    finish ~breakdown ~trace ~sys
+    finish ~opts ~sys
       ~label:("Water/" ^ Water.variant_name variant)
       ~ok:r.Water.energy_ok r.Water.report
+
+let run_app name opts =
+  match name with
+  | "tsp" -> run_tsp opts
+  | "qsort" -> run_qsort opts
+  | "water" -> run_water opts
+  | a -> `Error (false, Printf.sprintf "unknown application %S" a)
 
 let costs_cmd =
   let run () =
@@ -146,20 +227,29 @@ let costs_cmd =
     (Cmd.info "costs" ~doc:"Print the available virtual-time cost tables.")
     Term.(ret (const run $ const ()))
 
-let app_cmd name doc run =
-  Cmd.v
-    (Cmd.info name ~doc)
-    Term.(
-      ret
-        (const run $ nodes_arg $ variant_arg $ costs_arg $ seed_arg
-        $ breakdown_arg $ trace_arg))
+let app_cmd name doc run = Cmd.v (Cmd.info name ~doc) Term.(ret (const run $ opts_term))
 
 let () =
   let doc =
     "CarlOS: message-driven relaxed consistency in a simulated software DSM"
   in
   let info = Cmd.info "carlos_run" ~version:"1.0.0" ~doc in
-  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  (* Top level also accepts [--app APP] directly, so the common invocation
+     [carlos_run --app tsp --variant hybrid --nodes 4 --trace t.json] works
+     without a subcommand. *)
+  let app_arg =
+    let doc = "Application to run: tsp, qsort, water." in
+    Arg.(value & opt (some string) None & info [ "app" ] ~docv:"APP" ~doc)
+  in
+  let default =
+    Term.(
+      ret
+        (const (fun app opts ->
+             match app with
+             | Some name -> run_app name opts
+             | None -> `Help (`Pager, None))
+        $ app_arg $ opts_term))
+  in
   exit
     (Cmd.eval
        (Cmd.group ~default info

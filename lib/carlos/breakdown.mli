@@ -8,14 +8,22 @@
     - [Carlos]: CarlOS message handling and shared-memory consistency
       machinery.
 
-    The record counts CPU {e demand}; contention for the node CPU shows up
-    as idle time, exactly as it would under a profiler. *)
+    The buckets count CPU {e demand}; contention for the node CPU shows up
+    as idle time, exactly as it would under a profiler.
+
+    The three totals live in the observability registry as the [Carlos]
+    layer gauges [time.user], [time.unix] and [time.carlos]; this module
+    is a typed handle over them.  Measure a phase by snapshot/diff of the
+    registry rather than resetting. *)
 
 type bucket = User | Unix | Carlos
 
 type t
 
-val create : unit -> t
+(** [create ?obs ?node ()] registers the three gauges in [obs] (a fresh
+    private registry by default) for [node]
+    (default {!Carlos_obs.Obs.global_node}). *)
+val create : ?obs:Carlos_obs.Obs.t -> ?node:int -> unit -> t
 
 val add : t -> bucket -> float -> unit
 
@@ -29,7 +37,5 @@ val busy : t -> float
 
 (** [idle t ~wall] = [wall - busy t] (never negative). *)
 val idle : t -> wall:float -> float
-
-val reset : t -> unit
 
 val pp : Format.formatter -> t -> unit

@@ -9,6 +9,7 @@ module Interval = Carlos_dsm.Interval
 module Diff = Carlos_vm.Diff
 module Cost = Carlos_dsm.Cost
 module Trace = Carlos_sim.Trace
+module Obs = Carlos_obs.Obs
 
 exception Handler_error of string
 
@@ -17,14 +18,26 @@ let am_header_bytes = 16
 type lane = User_lane | System_lane
 
 type msg_stats = {
-  mutable sent : int;
-  mutable bytes : int;
-  mutable sent_release : int;
-  mutable sent_release_nt : int;
-  mutable sent_request : int;
-  mutable sent_none : int;
-  mutable stored : int;
-  mutable forwarded : int;
+  sent : int;
+  bytes : int;
+  sent_release : int;
+  sent_release_nt : int;
+  sent_request : int;
+  sent_none : int;
+  stored : int;
+  forwarded : int;
+}
+
+(* Registry handles behind {!msg_stats}. *)
+type instruments = {
+  sent_c : Obs.counter;
+  bytes_c : Obs.counter;
+  release_c : Obs.counter;
+  release_nt_c : Obs.counter;
+  request_c : Obs.counter;
+  none_c : Obs.counter;
+  stored_c : Obs.counter;
+  forwarded_c : Obs.counter;
 }
 
 type t = {
@@ -46,9 +59,9 @@ type t = {
   user_lane : delivery Mailbox.t;
   mutable transport_send : dst:int -> wire_bytes:int -> wire -> unit;
   mutable safe_point_hook : t -> unit;
-  mutable tracer : Trace.t option;
+  obs : Obs.t;
   mutable pending_compute : float;
-  stats : msg_stats;
+  ins : instruments;
 }
 
 and wire = {
@@ -86,15 +99,27 @@ let breakdown t = t.breakdown
 
 let costs t = t.costs
 
-let msg_stats t = t.stats
+let msg_stats t =
+  {
+    sent = Obs.value t.ins.sent_c;
+    bytes = Obs.value t.ins.bytes_c;
+    sent_release = Obs.value t.ins.release_c;
+    sent_release_nt = Obs.value t.ins.release_nt_c;
+    sent_request = Obs.value t.ins.request_c;
+    sent_none = Obs.value t.ins.none_c;
+    stored = Obs.value t.ins.stored_c;
+    forwarded = Obs.value t.ins.forwarded_c;
+  }
+
+let obs t = t.obs
 
 let time t = Engine.now t.engine
 
 let trace t ~tag detail =
-  match t.tracer with
-  | None -> ()
-  | Some tr ->
-    Trace.record tr ~time:(Engine.now t.engine) ~node:t.id ~tag ~detail
+  if Obs.tracing t.obs then
+    Obs.event t.obs
+      ~args:[ ("detail", Obs.Str detail) ]
+      ~node:t.id ~layer:Obs.Carlos tag
 
 (* ------------------------------------------------------------------ *)
 (* CPU accounting *)
@@ -147,14 +172,13 @@ let wire_size message =
   + match message.sender_vc with Some vc -> Vc.size_bytes vc | None -> 0
 
 let count_send t message size =
-  t.stats.sent <- t.stats.sent + 1;
-  t.stats.bytes <- t.stats.bytes + size;
+  Obs.inc t.ins.sent_c;
+  Obs.add t.ins.bytes_c size;
   match message.annotation with
-  | Annotation.Release -> t.stats.sent_release <- t.stats.sent_release + 1
-  | Annotation.Release_nt ->
-    t.stats.sent_release_nt <- t.stats.sent_release_nt + 1
-  | Annotation.Request -> t.stats.sent_request <- t.stats.sent_request + 1
-  | Annotation.None_ -> t.stats.sent_none <- t.stats.sent_none + 1
+  | Annotation.Release -> Obs.inc t.ins.release_c
+  | Annotation.Release_nt -> Obs.inc t.ins.release_nt_c
+  | Annotation.Request -> Obs.inc t.ins.request_c
+  | Annotation.None_ -> Obs.inc t.ins.none_c
 
 let transmit t ~dst message =
   if dst = t.id then begin
@@ -238,7 +262,7 @@ let forward d ~dst =
   check_disposable d "forward";
   d.disposition <- Forwarded;
   let t = d.target in
-  t.stats.forwarded <- t.stats.forwarded + 1;
+  Obs.inc t.ins.forwarded_c;
   transmit t ~dst d.message
 
 let store d =
@@ -247,7 +271,7 @@ let store d =
   | Stored | Accepted | Forwarded ->
     raise (Handler_error "store: message already disposed of"));
   d.disposition <- Stored;
-  d.target.stats.stored <- d.target.stats.stored + 1
+  Obs.inc d.target.ins.stored_c
 
 (* ------------------------------------------------------------------ *)
 (* Receiving *)
@@ -332,15 +356,25 @@ let rpc t ~dst ~request_bytes ~service ~reply_bytes =
 (* ------------------------------------------------------------------ *)
 (* Construction *)
 
-let make ~id ~nodes ~engine ~shm ~costs ?strategy () =
+let make ?obs ~id ~nodes ~engine ~shm ~costs ?strategy () =
+  let obs =
+    match obs with
+    | Some o -> o
+    | None ->
+      (* Standalone node (unit tests): private registry, clocked by the
+         engine so spans and events still carry virtual time. *)
+      let o = Obs.create ~clock:(fun () -> Engine.now engine) () in
+      o
+  in
   (* The LRC engine charges consistency work to this node's CPU; tie the
      knot with a forward reference. *)
   let charge_consistency = ref (fun (_ : float) -> ()) in
   let lrc =
-    Lrc.create ~nodes ~me:id ~page_table:(Shm.page_table shm) ~costs
+    Lrc.create ~obs ~nodes ~me:id ~page_table:(Shm.page_table shm) ~costs
       ~charge:(fun dt -> !charge_consistency dt)
       ?strategy ()
   in
+  let counter name = Obs.counter obs ~node:id ~layer:Obs.Carlos name in
   let t =
     {
       id;
@@ -350,25 +384,25 @@ let make ~id ~nodes ~engine ~shm ~costs ?strategy () =
       lrc;
       cpu_busy_until = 0.0;
       costs;
-      breakdown = Breakdown.create ();
+      breakdown = Breakdown.create ~obs ~node:id ();
       rx = Mailbox.create ();
       user_lane = Mailbox.create ();
       transport_send =
         (fun ~dst:_ ~wire_bytes:_ _ ->
           invalid_arg "Node: transport not installed");
       safe_point_hook = (fun _ -> ());
-      tracer = None;
+      obs;
       pending_compute = 0.0;
-      stats =
+      ins =
         {
-          sent = 0;
-          bytes = 0;
-          sent_release = 0;
-          sent_release_nt = 0;
-          sent_request = 0;
-          sent_none = 0;
-          stored = 0;
-          forwarded = 0;
+          sent_c = counter "msgs.sent";
+          bytes_c = counter "msgs.bytes";
+          release_c = counter "msgs.release";
+          release_nt_c = counter "msgs.release_nt";
+          request_c = counter "msgs.request";
+          none_c = counter "msgs.none";
+          stored_c = counter "msgs.stored";
+          forwarded_c = counter "msgs.forwarded";
         };
     }
   in
@@ -378,5 +412,3 @@ let make ~id ~nodes ~engine ~shm ~costs ?strategy () =
 let set_transport_send t f = t.transport_send <- f
 
 let set_safe_point_hook t f = t.safe_point_hook <- f
-
-let set_tracer t tracer = t.tracer <- Some tracer

@@ -46,6 +46,9 @@ val lrc : t -> Carlos_dsm.Lrc.t
 
 val breakdown : t -> Breakdown.t
 
+(** The observability registry this node reports into. *)
+val obs : t -> Carlos_obs.Obs.t
+
 val costs : t -> Carlos_dsm.Cost.t
 
 (** {1 Sending} *)
@@ -119,22 +122,30 @@ val await : t -> 'a Carlos_sim.Resource.Ivar.t -> 'a
 
 (** {1 Statistics} *)
 
+(** Immutable read-back of this node's message counters.  The live values
+    are the [msgs.*] counters in the observability registry ([Carlos]
+    layer); this is a convenience aggregate. *)
 type msg_stats = {
-  mutable sent : int; (* user + system messages, including forwards *)
-  mutable bytes : int; (* wire payload bytes of those messages *)
-  mutable sent_release : int;
-  mutable sent_release_nt : int;
-  mutable sent_request : int;
-  mutable sent_none : int;
-  mutable stored : int;
-  mutable forwarded : int;
+  sent : int; (* user + system messages, including forwards *)
+  bytes : int; (* wire payload bytes of those messages *)
+  sent_release : int;
+  sent_release_nt : int;
+  sent_request : int;
+  sent_none : int;
+  stored : int;
+  forwarded : int;
 }
 
 val msg_stats : t -> msg_stats
 
 (** {1 Construction and wiring (used by System)} *)
 
+(** [make ?obs ~id ...] — all accounting (message counters, Figure 2 time
+    gauges, LRC protocol counters, page-fault counters are registered by
+    the respective owners) lands in [obs]; a fresh private registry
+    clocked by [engine] is created when omitted. *)
 val make :
+  ?obs:Carlos_obs.Obs.t ->
   id:int ->
   nodes:int ->
   engine:Carlos_sim.Engine.t ->
@@ -151,9 +162,6 @@ val set_transport_send :
 (** Install the hook run at safe points (GC rendezvous checks).  The hook
     runs in the fiber that reached the safe point and may block. *)
 val set_safe_point_hook : t -> (t -> unit) -> unit
-
-(** Record message sends and handler dispatches into [tracer]. *)
-val set_tracer : t -> Carlos_sim.Trace.t -> unit
 
 (** Deliver an incoming wire message (the sliding-window receive upcall).
     Non-blocking: enqueues for the node's interrupt fiber, preserving

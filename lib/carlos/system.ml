@@ -14,6 +14,7 @@ module Vc = Carlos_dsm.Vc
 module Interval = Carlos_dsm.Interval
 module Cost = Carlos_dsm.Cost
 module Lrc = Carlos_dsm.Lrc
+module Obs = Carlos_obs.Obs
 
 type config = {
   nodes : int;
@@ -74,7 +75,7 @@ type report = {
 
 type gc_state = {
   mutable in_progress : bool;
-  mutable runs : int;
+  runs_c : Obs.counter;
   mutable requested : bool;
 }
 
@@ -89,7 +90,7 @@ type t = {
   noncoherent_alloc : Alloc.t;
   rng : Rng.t;
   gc : gc_state;
-  trace : Carlos_sim.Trace.t;
+  obs : Obs.t;
 }
 
 exception Stalled of string
@@ -106,11 +107,14 @@ let region t = t.region
 
 let rng t = t.rng
 
-let gc_runs t = t.gc.runs
+let gc_runs t = Obs.value t.gc.runs_c
 
-let trace t = t.trace
+let obs t = t.obs
 
-let set_tracing t enabled = Carlos_sim.Trace.set_enabled t.trace enabled
+(* The legacy trace view is the registry itself ([Trace.t = Obs.t]). *)
+let trace t = t.obs
+
+let set_tracing t enabled = Obs.set_tracing t.obs enabled
 
 (* ------------------------------------------------------------------ *)
 (* Shared-memory setup *)
@@ -209,6 +213,7 @@ let wire_transport t node =
    rendezvous belongs to open or post-snapshot intervals, which survive. *)
 
 let run_gc t =
+ Obs.span t.obs ~node:0 ~layer:Obs.Carlos "gc.rendezvous" @@ fun () ->
   let coord = t.nodes.(0) in
   let n = t.cfg.nodes in
   (* 1. Collect contributions. *)
@@ -262,7 +267,7 @@ let run_gc t =
   in
   Lrc.discard_before (Node.lrc coord) snapshot;
   List.iter (fun iv -> Node.await coord iv) discarded;
-  t.gc.runs <- t.gc.runs + 1;
+  Obs.inc t.gc.runs_c;
   t.gc.in_progress <- false;
   t.gc.requested <- false
 
@@ -288,8 +293,11 @@ let safe_point_check t node =
 let create (cfg : config) =
   if cfg.nodes <= 0 then invalid_arg "System.create: nodes";
   let engine = Engine.create () in
+  (* One registry for the whole cluster, clocked by the engine: every
+     layer below registers its instruments here. *)
+  let obs = Obs.create ~clock:(fun () -> Engine.now engine) () in
   let medium =
-    Medium.create engine ~nodes:cfg.nodes ~latency:cfg.latency
+    Medium.create ~obs engine ~nodes:cfg.nodes ~latency:cfg.latency
       ~bandwidth:cfg.bandwidth
   in
   let rng = Rng.create ~seed:cfg.seed in
@@ -307,8 +315,8 @@ let create (cfg : config) =
   let noncoherent = Bytes.make cfg.noncoherent_bytes '\000' in
   let nodes =
     Array.init cfg.nodes (fun id ->
-        let shm = Shm.create ~region ~noncoherent in
-        Node.make ~id ~nodes:cfg.nodes ~engine ~shm ~costs:cfg.costs
+        let shm = Shm.create ~obs ~node:id ~region ~noncoherent () in
+        Node.make ~obs ~id ~nodes:cfg.nodes ~engine ~shm ~costs:cfg.costs
           ~strategy:cfg.strategy ())
   in
   let t =
@@ -327,8 +335,14 @@ let create (cfg : config) =
           ~base:(Region.noncoherent_base region)
           ~size:cfg.noncoherent_bytes;
       rng;
-      gc = { in_progress = false; runs = 0; requested = false };
-      trace = Carlos_sim.Trace.create ();
+      gc =
+        {
+          in_progress = false;
+          runs_c =
+            Obs.counter obs ~node:Obs.global_node ~layer:Obs.Carlos "gc.runs";
+          requested = false;
+        };
+      obs;
     }
   in
   Array.iter
@@ -340,7 +354,6 @@ let create (cfg : config) =
           Node.deliver node ~src msg);
       Lrc.set_transport (Node.lrc node) (wire_transport t node);
       Node.set_safe_point_hook node (fun n -> safe_point_check t n);
-      Node.set_tracer node t.trace;
       Node.start_dispatcher node)
     t.nodes;
   t
@@ -406,7 +419,7 @@ let run t app =
     net_utilization =
       (if wall <= 0.0 then 0.0
        else float_of_int message_bytes *. 8.0 /. (1.0e7 *. wall));
-    gc_runs = t.gc.runs;
+    gc_runs = gc_runs t;
     diffs_created;
     diff_requests;
   }

@@ -79,8 +79,15 @@ val region : t -> Carlos_vm.Region.t
 (** Deterministic per-system random stream (seeded from [config.seed]). *)
 val rng : t -> Carlos_sim.Rng.t
 
-(** Message-level event trace (sends and handler dispatches), off by
-    default; enable with {!set_tracing}. *)
+(** The cluster-wide observability registry: every instrument of every
+    layer (network, VM, consistency protocol, message layer) and the typed
+    event trace.  Snapshot/diff it to measure a phase; export it with the
+    [Obs] Chrome-trace/JSONL printers. *)
+val obs : t -> Carlos_obs.Obs.t
+
+(** Legacy flat view of the same registry ([Trace.t = Obs.t]): sends and
+    handler dispatches as tagged events, off by default; enable with
+    {!set_tracing}. *)
 val trace : t -> Carlos_sim.Trace.t
 
 val set_tracing : t -> bool -> unit

@@ -27,18 +27,53 @@ type transport = {
   fetch_page : dst:int -> page:int -> page_reply option;
 }
 
+module Obs = Carlos_obs.Obs
+
 type stats = {
-  mutable intervals_created : int;
-  mutable write_notices_sent : int;
-  mutable write_notices_applied : int;
-  mutable diffs_created : int;
-  mutable diffs_applied : int;
-  mutable diff_bytes_fetched : int;
-  mutable diff_requests : int;
-  mutable page_fetches : int;
-  mutable interval_fetches : int;
-  mutable twins_created : int;
+  intervals_created : int;
+  write_notices_sent : int;
+  write_notices_applied : int;
+  diffs_created : int;
+  diffs_applied : int;
+  diff_bytes_fetched : int;
+  diff_requests : int;
+  page_fetches : int;
+  interval_fetches : int;
+  twins_created : int;
 }
+
+(* Registry handles for the protocol's accounting; see {!stats} for the
+   aggregate read-back view. *)
+type instruments = {
+  intervals_created_c : Obs.counter;
+  write_notices_sent_c : Obs.counter;
+  write_notices_applied_c : Obs.counter;
+  diffs_created_c : Obs.counter;
+  diffs_applied_c : Obs.counter;
+  diff_bytes_fetched_c : Obs.counter;
+  diff_requests_c : Obs.counter;
+  page_fetches_c : Obs.counter;
+  interval_fetches_c : Obs.counter;
+  twins_created_c : Obs.counter;
+  diff_size_h : Obs.Hist.t;
+}
+
+let make_instruments obs ~node =
+  let dsm name = Obs.counter obs ~node ~layer:Obs.Dsm name in
+  let vm name = Obs.counter obs ~node ~layer:Obs.Vm name in
+  {
+    intervals_created_c = dsm "intervals_created";
+    write_notices_sent_c = dsm "write_notices_sent";
+    write_notices_applied_c = dsm "write_notices_applied";
+    diffs_created_c = vm "diffs_created";
+    diffs_applied_c = dsm "diffs_applied";
+    diff_bytes_fetched_c = dsm "diff_bytes_fetched";
+    diff_requests_c = dsm "diff_requests";
+    page_fetches_c = dsm "page_fetches";
+    interval_fetches_c = dsm "interval_fetches";
+    twins_created_c = vm "twins";
+    diff_size_h = Obs.histogram obs ~node ~layer:Obs.Vm "diff.bytes";
+  }
 
 type t = {
   nodes : int;
@@ -85,7 +120,8 @@ type t = {
   attach_floor : Vc.t array;
   mutable transport : transport option;
   mutable diff_bytes_stored : int;
-  stats : stats;
+  obs : Obs.t;
+  ins : instruments;
 }
 
 let transport t =
@@ -120,7 +156,8 @@ let encode_now t page =
   (* Encode before charging: charging yields the fiber, and a concurrent
      write-notice arrival could flush (re-protect) the page under us. *)
   let diff = Page.encode_diff p ~page_index:page in
-  t.stats.diffs_created <- t.stats.diffs_created + 1;
+  Obs.inc t.ins.diffs_created_c;
+  Obs.Hist.observe t.ins.diff_size_h (float_of_int (Diff.size_bytes diff));
   t.charge
     ((t.costs.Cost.diff_scan_per_byte *. float_of_int page_size)
     +. (t.costs.Cost.diff_data_per_byte
@@ -150,7 +187,7 @@ let write_fault t page =
   (* Mutate before charging: charging yields the fiber, and a concurrent
      write-notice arrival could invalidate the page mid-fault. *)
   Page.make_twin p;
-  t.stats.twins_created <- t.stats.twins_created + 1;
+  Obs.inc t.ins.twins_created_c;
   if not (Hashtbl.mem t.dirty_set page) then begin
     Hashtbl.replace t.dirty_set page ();
     t.dirty <- page :: t.dirty
@@ -219,7 +256,7 @@ let fetch_whole_page t page ids =
              bytes. *)
           ids
         else begin
-          t.stats.page_fetches <- t.stats.page_fetches + 1;
+          Obs.inc t.ins.page_fetches_c;
           let p = Page_table.page t.page_table page in
           Page.install p data;
           Page.invalidate p;
@@ -267,7 +304,7 @@ let collect_diffs t page ids =
   List.iter
     (fun creator ->
       let needed = List.rev (Hashtbl.find missing_by_creator creator) in
-      t.stats.diff_requests <- t.stats.diff_requests + 1;
+      Obs.inc t.ins.diff_requests_c;
       let reply = (transport t).fetch_diffs ~dst:creator [ (page, needed) ] in
       List.iter
         (fun (reply_page, id, ds) ->
@@ -275,8 +312,7 @@ let collect_diffs t page ids =
             raise (Protocol_violation "diff reply for the wrong page");
           List.iter
             (fun d ->
-              t.stats.diff_bytes_fetched <-
-                t.stats.diff_bytes_fetched + Diff.size_bytes d;
+              Obs.add t.ins.diff_bytes_fetched_c (Diff.size_bytes d);
               store_diff t ~page ~id d)
             ds;
           Hashtbl.replace have id ds)
@@ -309,7 +345,7 @@ let apply_diffs t page ids have =
             if not (List.memq d !applied) then begin
               applied := d :: !applied;
               Page.apply_diff p d;
-              t.stats.diffs_applied <- t.stats.diffs_applied + 1;
+              Obs.inc t.ins.diffs_applied_c;
               t.charge
                 (t.costs.Cost.diff_data_per_byte
                  *. float_of_int (Diff.changed_bytes d))
@@ -398,8 +434,10 @@ let read_fault t page =
 
 (* ------------------------------------------------------------------ *)
 
-let create ~nodes ~me ~page_table ~costs ~charge ?(strategy = Invalidate) () =
+let create ?obs ~nodes ~me ~page_table ~costs ~charge ?(strategy = Invalidate)
+    () =
   if me < 0 || me >= nodes then invalid_arg "Lrc.create: bad node id";
+  let obs = match obs with Some o -> o | None -> Obs.create () in
   let t =
     {
       nodes;
@@ -421,19 +459,8 @@ let create ~nodes ~me ~page_table ~costs ~charge ?(strategy = Invalidate) () =
       attach_floor = Array.init nodes (fun _ -> Vc.zero ~nodes);
       transport = None;
       diff_bytes_stored = 0;
-      stats =
-        {
-          intervals_created = 0;
-          write_notices_sent = 0;
-          write_notices_applied = 0;
-          diffs_created = 0;
-          diffs_applied = 0;
-          diff_bytes_fetched = 0;
-          diff_requests = 0;
-          page_fetches = 0;
-          interval_fetches = 0;
-          twins_created = 0;
-        };
+      obs;
+      ins = make_instruments obs ~node:me;
     }
   in
   Page_table.set_read_fault page_table (read_fault t);
@@ -448,7 +475,19 @@ let me t = t.me
 
 let vc t = t.vc
 
-let stats t = t.stats
+let stats t =
+  {
+    intervals_created = Obs.value t.ins.intervals_created_c;
+    write_notices_sent = Obs.value t.ins.write_notices_sent_c;
+    write_notices_applied = Obs.value t.ins.write_notices_applied_c;
+    diffs_created = Obs.value t.ins.diffs_created_c;
+    diffs_applied = Obs.value t.ins.diffs_applied_c;
+    diff_bytes_fetched = Obs.value t.ins.diff_bytes_fetched_c;
+    diff_requests = Obs.value t.ins.diff_requests_c;
+    page_fetches = Obs.value t.ins.page_fetches_c;
+    interval_fetches = Obs.value t.ins.interval_fetches_c;
+    twins_created = Obs.value t.ins.twins_created_c;
+  }
 
 let note_peer_vc t ~peer vc = Vc.join_in_place t.peer_vc.(peer) vc
 
@@ -477,9 +516,8 @@ let close_interval t =
         ~write_notices:pages
     in
     Hashtbl.replace t.log (t.me, index) interval;
-    t.stats.intervals_created <- t.stats.intervals_created + 1;
-    t.stats.write_notices_sent <-
-      t.stats.write_notices_sent + List.length pages;
+    Obs.inc t.ins.intervals_created_c;
+    Obs.add t.ins.write_notices_sent_c (List.length pages);
     t.charge t.costs.Cost.interval_create;
     let id = { Interval.creator = t.me; index } in
     List.iter
@@ -607,6 +645,9 @@ let attachments_for t ~receiver intervals =
     out
 
 let make_piggyback t ~receiver ~nontransitive =
+ Obs.span t.obs ~node:t.me ~layer:Obs.Dsm "lrc.release"
+   ~args:[ ("receiver", Obs.Int receiver) ]
+ @@ fun () ->
   close_interval t;
   let intervals =
     if receiver = t.me then begin
@@ -659,7 +700,7 @@ let apply_interval t ~attached interval =
   if creator <> t.me then begin
     List.iter
       (fun page ->
-        t.stats.write_notices_applied <- t.stats.write_notices_applied + 1;
+        Obs.inc t.ins.write_notices_applied_c;
         t.charge t.costs.Cost.write_notice_apply;
         (* A whole-page install can leave the local copy ahead of the
            vector clock; a write notice for an interval the content
@@ -678,7 +719,7 @@ let apply_interval t ~attached interval =
             List.iter
               (fun d ->
                 Page.apply_diff p d;
-                t.stats.diffs_applied <- t.stats.diffs_applied + 1;
+                Obs.inc t.ins.diffs_applied_c;
                 t.charge
                   (t.costs.Cost.diff_data_per_byte
                   *. float_of_int (Diff.changed_bytes d));
@@ -743,6 +784,9 @@ let find_gap t ~target piggybacks =
   !result
 
 let accept t piggybacks =
+ Obs.span t.obs ~node:t.me ~layer:Obs.Dsm "lrc.accept"
+   ~args:[ ("piggybacks", Obs.Int (List.length piggybacks)) ]
+ @@ fun () ->
   (* 0. Index any eagerly shipped diffs (update/hybrid strategies). *)
   let attached = Hashtbl.create 16 in
   List.iter
@@ -765,7 +809,7 @@ let accept t piggybacks =
     match find_gap t ~target piggybacks with
     | None -> ()
     | Some origin ->
-      t.stats.interval_fetches <- t.stats.interval_fetches + 1;
+      Obs.inc t.ins.interval_fetches_c;
       let fetched = (transport t).fetch_intervals ~dst:origin ~have:t.vc in
       List.iter (log_interval t) fetched;
       ensure_logged ()

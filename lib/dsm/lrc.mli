@@ -75,10 +75,14 @@ type transport = {
       (** blocking RPC; the remote side answers with {!serve_page} *)
 }
 
-(** [create ~nodes ~me ~page_table ~costs ~charge] — [charge dt] must
+(** [create ?obs ~nodes ~me ~page_table ~costs ~charge] — [charge dt] must
     consume [dt] seconds of this node's CPU and account it to the
-    consistency-overhead bucket. *)
+    consistency-overhead bucket.  Protocol accounting registers in [obs]
+    (a fresh private registry by default) under the [Dsm]/[Vm] layers for
+    node [me]; [accept] and [make_piggyback] additionally record
+    [lrc.accept]/[lrc.release] spans when tracing is enabled. *)
 val create :
+  ?obs:Carlos_obs.Obs.t ->
   nodes:int ->
   me:int ->
   page_table:Carlos_vm.Page_table.t ->
@@ -153,17 +157,19 @@ val discard_before : t -> Vc.t -> unit
 
 (** {1 Statistics} *)
 
+(** Immutable read-back of this node's protocol counters (all live in the
+    observability registry; this is a convenience aggregate). *)
 type stats = {
-  mutable intervals_created : int;
-  mutable write_notices_sent : int;
-  mutable write_notices_applied : int;
-  mutable diffs_created : int;
-  mutable diffs_applied : int;
-  mutable diff_bytes_fetched : int;
-  mutable diff_requests : int;
-  mutable page_fetches : int;
-  mutable interval_fetches : int;
-  mutable twins_created : int;
+  intervals_created : int;
+  write_notices_sent : int;
+  write_notices_applied : int;
+  diffs_created : int;
+  diffs_applied : int;
+  diff_bytes_fetched : int;
+  diff_requests : int;
+  page_fetches : int;
+  interval_fetches : int;
+  twins_created : int;
 }
 
 val stats : t -> stats

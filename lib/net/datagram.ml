@@ -1,4 +1,5 @@
 module Rng = Carlos_sim.Rng
+module Obs = Carlos_obs.Obs
 
 (* 14 (Ethernet) + 20 (IP) + 8 (UDP). *)
 let header_bytes = 42
@@ -7,16 +8,27 @@ type 'a t = {
   medium : 'a Medium.t;
   loss : float;
   rng : Rng.t option;
-  mutable sent : int;
-  mutable dropped : int;
-  mutable payload_bytes : int;
+  sent_c : Obs.counter;
+  dropped_c : Obs.counter;
+  payload_c : Obs.counter;
 }
 
 let create medium ?(loss = 0.0) ?rng () =
   if loss < 0.0 || loss >= 1.0 then invalid_arg "Datagram.create: bad loss";
   if loss > 0.0 && rng = None then
     invalid_arg "Datagram.create: loss requires an rng";
-  { medium; loss; rng; sent = 0; dropped = 0; payload_bytes = 0 }
+  let obs = Medium.obs medium in
+  let g = Obs.global_node in
+  {
+    medium;
+    loss;
+    rng;
+    sent_c = Obs.counter obs ~node:g ~layer:Obs.Net "datagram.sent";
+    dropped_c = Obs.counter obs ~node:g ~layer:Obs.Net "datagram.dropped";
+    payload_c = Obs.counter obs ~node:g ~layer:Obs.Net "datagram.payload_bytes";
+  }
+
+let obs t = Medium.obs t.medium
 
 let nodes t = Medium.nodes t.medium
 
@@ -33,19 +45,14 @@ let dropped t =
 
 let send t ~src ~dst ~payload_bytes v =
   if payload_bytes < 0 then invalid_arg "Datagram.send: negative size";
-  t.sent <- t.sent + 1;
-  t.payload_bytes <- t.payload_bytes + payload_bytes;
-  if dropped t then t.dropped <- t.dropped + 1
+  Obs.inc t.sent_c;
+  Obs.add t.payload_c payload_bytes;
+  if dropped t then Obs.inc t.dropped_c
   else
     Medium.send t.medium ~src ~dst ~size:(payload_bytes + header_bytes) v
 
-let datagrams_sent t = t.sent
+let datagrams_sent t = Obs.value t.sent_c
 
-let datagrams_dropped t = t.dropped
+let datagrams_dropped t = Obs.value t.dropped_c
 
-let payload_bytes_sent t = t.payload_bytes
-
-let reset_stats t =
-  t.sent <- 0;
-  t.dropped <- 0;
-  t.payload_bytes <- 0
+let payload_bytes_sent t = Obs.value t.payload_c

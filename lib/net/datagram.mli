@@ -4,7 +4,11 @@
     loss so the reliability layer above can be exercised.  Delivery order on
     a loss-free segment follows the medium's FIFO wire, i.e. frames between
     one (src, dst) pair never reorder; loss is the only failure mode, as on
-    a single Ethernet segment. *)
+    a single Ethernet segment.
+
+    Accounting ([datagram.sent], [datagram.dropped],
+    [datagram.payload_bytes]) registers in the underlying medium's
+    {!Carlos_obs.Obs} registry under the [Net] layer. *)
 
 type 'a t
 
@@ -17,6 +21,9 @@ val header_bytes : int
 val create :
   'a Medium.t -> ?loss:float -> ?rng:Carlos_sim.Rng.t -> unit -> 'a t
 
+(** The registry this service reports into (the medium's). *)
+val obs : 'a t -> Carlos_obs.Obs.t
+
 val nodes : 'a t -> int
 
 val set_handler :
@@ -27,10 +34,13 @@ val set_handler :
     [size = payload_bytes]. *)
 val send : 'a t -> src:int -> dst:int -> payload_bytes:int -> 'a -> unit
 
+(** {1 Statistics}
+
+    Cumulative since creation — snapshot/diff the registry to measure a
+    phase. *)
+
 val datagrams_sent : 'a t -> int
 
 val datagrams_dropped : 'a t -> int
 
 val payload_bytes_sent : 'a t -> int
-
-val reset_stats : 'a t -> unit

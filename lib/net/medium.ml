@@ -1,34 +1,43 @@
 module Engine = Carlos_sim.Engine
 module Resource = Carlos_sim.Resource
+module Obs = Carlos_obs.Obs
 
 type 'a handler = src:int -> size:int -> 'a -> unit
 
 type 'a t = {
   engine : Engine.t;
+  obs : Obs.t;
   node_count : int;
   latency : float;
   bandwidth : float;
   wire : Resource.Fifo.t;
   handlers : 'a handler option array;
-  mutable frames : int;
-  mutable bytes : int;
-  mutable busy_base : float;
+  frames_c : Obs.counter;
+  bytes_c : Obs.counter;
+  busy_g : Obs.gauge;
+  queue_delay : Obs.Hist.t;
 }
 
-let create engine ~nodes ~latency ~bandwidth =
+let create ?obs engine ~nodes ~latency ~bandwidth =
   if nodes <= 0 then invalid_arg "Medium.create: nodes must be positive";
   if bandwidth <= 0.0 then invalid_arg "Medium.create: bandwidth must be positive";
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let g = Obs.global_node in
   {
     engine;
+    obs;
     node_count = nodes;
     latency;
     bandwidth;
     wire = Resource.Fifo.create ();
     handlers = Array.make nodes None;
-    frames = 0;
-    bytes = 0;
-    busy_base = 0.0;
+    frames_c = Obs.counter obs ~node:g ~layer:Obs.Net "medium.frames";
+    bytes_c = Obs.counter obs ~node:g ~layer:Obs.Net "medium.bytes";
+    busy_g = Obs.gauge obs ~node:g ~layer:Obs.Net "medium.wire_busy";
+    queue_delay = Obs.histogram obs ~node:g ~layer:Obs.Net "medium.queue_delay";
   }
+
+let obs t = t.obs
 
 let nodes t = t.node_count
 
@@ -44,26 +53,29 @@ let send t ~src ~dst ~size payload =
   check_node t src;
   check_node t dst;
   if size <= 0 then invalid_arg "Medium.send: size must be positive";
-  t.frames <- t.frames + 1;
-  t.bytes <- t.bytes + size;
+  Obs.inc t.frames_c;
+  Obs.add t.bytes_c size;
   Engine.spawn t.engine (fun () ->
       let transmit_time = float_of_int size /. t.bandwidth in
-      let _waited = Resource.Fifo.use t.wire transmit_time in
+      let waited = Resource.Fifo.use t.wire transmit_time in
+      Obs.Hist.observe t.queue_delay waited;
+      Obs.set_gauge t.busy_g (Resource.Fifo.busy_time t.wire);
+      if Obs.tracing t.obs then
+        Obs.complete_at t.obs
+          ~ts:(Engine.now t.engine -. transmit_time)
+          ~duration:transmit_time ~node:Obs.global_node ~layer:Obs.Net
+          "net.frame"
+          ~args:[ ("src", Obs.Int src); ("dst", Obs.Int dst); ("size", Obs.Int size) ];
       Engine.delay t.latency;
       match t.handlers.(dst) with
       | None -> ()
       | Some handler -> handler ~src ~size payload)
 
-let frames_sent t = t.frames
+let frames_sent t = Obs.value t.frames_c
 
-let bytes_sent t = t.bytes
+let bytes_sent t = Obs.value t.bytes_c
 
-let wire_busy_time t = Resource.Fifo.busy_time t.wire -. t.busy_base
+let wire_busy_time t = Resource.Fifo.busy_time t.wire
 
 let utilization t ~elapsed =
   if elapsed <= 0.0 then 0.0 else wire_busy_time t /. elapsed
-
-let reset_stats t =
-  t.frames <- 0;
-  t.bytes <- 0;
-  t.busy_base <- Resource.Fifo.busy_time t.wire

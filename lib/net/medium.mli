@@ -9,15 +9,33 @@
 
     The medium is polymorphic in the payload it carries; upper layers
     (datagram service, sliding-window protocol) choose their own frame
-    types. *)
+    types.
+
+    All accounting lives in the {!Carlos_obs.Obs} registry under the [Net]
+    layer at {!Carlos_obs.Obs.global_node} (the wire is shared — no single
+    node owns it): counters [medium.frames] and [medium.bytes], the
+    [medium.wire_busy] gauge, and a [medium.queue_delay] histogram of the
+    virtual time each frame waited for the wire.  When tracing is enabled,
+    each transmission is additionally recorded as a [net.frame] complete
+    event. *)
 
 type 'a t
 
-(** [create engine ~nodes ~latency ~bandwidth] builds a medium connecting
-    [nodes] stations.  [bandwidth] is in bytes per second; [latency] in
-    seconds covers propagation plus receive-side interrupt dispatch. *)
+(** [create ?obs engine ~nodes ~latency ~bandwidth] builds a medium
+    connecting [nodes] stations.  [bandwidth] is in bytes per second;
+    [latency] in seconds covers propagation plus receive-side interrupt
+    dispatch.  Instruments register in [obs] (a fresh private registry by
+    default; pass the system-wide one to share). *)
 val create :
-  Carlos_sim.Engine.t -> nodes:int -> latency:float -> bandwidth:float -> 'a t
+  ?obs:Carlos_obs.Obs.t ->
+  Carlos_sim.Engine.t ->
+  nodes:int ->
+  latency:float ->
+  bandwidth:float ->
+  'a t
+
+(** The registry this medium reports into. *)
+val obs : 'a t -> Carlos_obs.Obs.t
 
 val nodes : 'a t -> int
 
@@ -31,7 +49,10 @@ val set_handler : 'a t -> node:int -> (src:int -> size:int -> 'a -> unit) -> uni
     size in bytes, headers included. *)
 val send : 'a t -> src:int -> dst:int -> size:int -> 'a -> unit
 
-(** {1 Statistics} *)
+(** {1 Statistics}
+
+    Cumulative since creation — take {!Carlos_obs.Obs.snapshot}s and
+    {!Carlos_obs.Obs.diff} them to measure a phase. *)
 
 val frames_sent : 'a t -> int
 
@@ -43,5 +64,3 @@ val wire_busy_time : 'a t -> float
 (** [utilization t ~elapsed] is the fraction of [elapsed] during which the
     wire was transmitting. *)
 val utilization : 'a t -> elapsed:float -> float
-
-val reset_stats : 'a t -> unit

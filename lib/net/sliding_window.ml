@@ -1,4 +1,5 @@
 module Engine = Carlos_sim.Engine
+module Obs = Carlos_obs.Obs
 
 type 'a frame =
   | Data of { seq : int; payload_bytes : int; payload : 'a }
@@ -29,10 +30,10 @@ type 'a t = {
   rto : float;
   connections : 'a connection array array; (* [src].[dst] *)
   handlers : 'a handler option array;
-  mutable sent : int;
-  mutable delivered : int;
-  mutable retransmitted : int;
-  mutable acks : int;
+  sent_c : Obs.counter;
+  delivered_c : Obs.counter;
+  retransmitted_c : Obs.counter;
+  acks_c : Obs.counter;
 }
 
 let make_connection () =
@@ -54,7 +55,7 @@ let transmit t ~src ~dst ~seq ~payload_bytes payload =
     (Data { seq; payload_bytes; payload })
 
 let send_ack t ~src ~dst ~cumulative =
-  t.acks <- t.acks + 1;
+  Obs.inc t.acks_c;
   Datagram.send t.datagram ~src ~dst ~payload_bytes:ack_bytes
     (Ack { cumulative })
 
@@ -73,7 +74,7 @@ let rec arm_timer ?(backoff = 1.0) t ~src ~dst =
         (* Go-back-N: retransmit every unacknowledged frame. *)
         Queue.iter
           (fun (seq, payload_bytes, payload) ->
-            t.retransmitted <- t.retransmitted + 1;
+            Obs.inc t.retransmitted_c;
             transmit t ~src ~dst ~seq ~payload_bytes payload)
           c.unacked;
         arm_timer ~backoff:(Float.min 64.0 (2.0 *. backoff)) t ~src ~dst
@@ -90,7 +91,7 @@ let launch t ~src ~dst ~payload_bytes payload =
   transmit t ~src ~dst ~seq ~payload_bytes payload
 
 let send t ~src ~dst ~payload_bytes payload =
-  t.sent <- t.sent + 1;
+  Obs.inc t.sent_c;
   let c = conn t ~src ~dst in
   if Queue.length c.unacked < t.window && Queue.is_empty c.pending then begin
     let was_idle = Queue.is_empty c.unacked in
@@ -124,22 +125,16 @@ let handle_ack t ~src ~dst ~cumulative =
     else arm_timer t ~src ~dst
   end
 
-let messages_sent t = t.sent
+let messages_sent t = Obs.value t.sent_c
 
-let messages_delivered t = t.delivered
+let messages_delivered t = Obs.value t.delivered_c
 
-let retransmissions t = t.retransmitted
+let retransmissions t = Obs.value t.retransmitted_c
 
-let acks_sent t = t.acks
-
-let reset_stats t =
-  t.sent <- 0;
-  t.delivered <- 0;
-  t.retransmitted <- 0;
-  t.acks <- 0
+let acks_sent t = Obs.value t.acks_c
 
 let deliver t ~node ~src ~payload_bytes payload =
-  t.delivered <- t.delivered + 1;
+  Obs.inc t.delivered_c;
   match t.handlers.(node) with
   | None -> ()
   | Some handler -> handler ~src ~size:payload_bytes payload
@@ -186,6 +181,8 @@ let create engine datagram ~window ~rto =
   if window <= 0 then invalid_arg "Sliding_window.create: window";
   if rto <= 0.0 then invalid_arg "Sliding_window.create: rto";
   let n = Datagram.nodes datagram in
+  let obs = Datagram.obs datagram in
+  let g = Obs.global_node in
   let t =
     {
       engine;
@@ -195,10 +192,10 @@ let create engine datagram ~window ~rto =
       connections =
         Array.init n (fun _ -> Array.init n (fun _ -> make_connection ()));
       handlers = Array.make n None;
-      sent = 0;
-      delivered = 0;
-      retransmitted = 0;
-      acks = 0;
+      sent_c = Obs.counter obs ~node:g ~layer:Obs.Net "sw.sent";
+      delivered_c = Obs.counter obs ~node:g ~layer:Obs.Net "sw.delivered";
+      retransmitted_c = Obs.counter obs ~node:g ~layer:Obs.Net "sw.retransmits";
+      acks_c = Obs.counter obs ~node:g ~layer:Obs.Net "sw.acks";
     }
   in
   for node = 0 to n - 1 do
@@ -208,3 +205,5 @@ let create engine datagram ~window ~rto =
   t
 
 let set_handler t ~node handler = t.handlers.(node) <- Some handler
+
+let obs t = Datagram.obs t.datagram

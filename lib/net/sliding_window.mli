@@ -25,6 +25,9 @@ val create :
   rto:float ->
   'a t
 
+(** The registry this protocol reports into (the datagram service's). *)
+val obs : 'a t -> Carlos_obs.Obs.t
+
 val nodes : 'a t -> int
 
 (** Reliable asynchronous send.  Returns immediately; delivery happens at
@@ -37,7 +40,11 @@ val send : 'a t -> src:int -> dst:int -> payload_bytes:int -> 'a -> unit
 val set_handler :
   'a t -> node:int -> (src:int -> size:int -> 'a -> unit) -> unit
 
-(** {1 Statistics} *)
+(** {1 Statistics}
+
+    Counters [sw.sent], [sw.delivered], [sw.retransmits] and [sw.acks]
+    in the registry, [Net] layer, cumulative since creation —
+    snapshot/diff the registry to measure a phase. *)
 
 val messages_sent : 'a t -> int
 
@@ -46,5 +53,3 @@ val messages_delivered : 'a t -> int
 val retransmissions : 'a t -> int
 
 val acks_sent : 'a t -> int
-
-val reset_stats : 'a t -> unit

@@ -1,0 +1,556 @@
+(* Typed observability layer: metrics registry + event/span trace with
+   Chrome trace_event and JSONL exporters.  See obs.mli for the model. *)
+
+type layer = Sim | Net | Vm | Dsm | Carlos | App
+
+let layer_name = function
+  | Sim -> "sim"
+  | Net -> "net"
+  | Vm -> "vm"
+  | Dsm -> "dsm"
+  | Carlos -> "carlos"
+  | App -> "app"
+
+let layer_index = function
+  | Sim -> 0
+  | Net -> 1
+  | Vm -> 2
+  | Dsm -> 3
+  | Carlos -> 4
+  | App -> 5
+
+let global_node = -1
+
+type key = { node : int; layer : layer; name : string }
+
+let compare_key a b =
+  match compare a.node b.node with
+  | 0 -> (
+    match compare (layer_index a.layer) (layer_index b.layer) with
+    | 0 -> String.compare a.name b.name
+    | c -> c)
+  | c -> c
+
+(* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+module Hist = struct
+  let bucket_count = 64
+
+  type t = {
+    mutable count : int;
+    mutable sum : float;
+    mutable min : float;
+    mutable max : float;
+    buckets : int array;
+  }
+
+  let create () =
+    {
+      count = 0;
+      sum = 0.0;
+      min = infinity;
+      max = neg_infinity;
+      buckets = Array.make bucket_count 0;
+    }
+
+  (* Power-of-two buckets: an observation v with v = m * 2^e (0.5 <= m < 1)
+     lands in bucket e + 40 (clamped), covering ~1e-12 .. ~1e7. *)
+  let bucket_of v =
+    if v <= 0.0 then 0
+    else
+      let (_, e) = Float.frexp v in
+      Int.max 0 (Int.min (bucket_count - 1) (e + 40))
+
+  let observe h v =
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min then h.min <- v;
+    if v > h.max then h.max <- v;
+    let b = bucket_of v in
+    h.buckets.(b) <- h.buckets.(b) + 1
+
+  let reset h =
+    h.count <- 0;
+    h.sum <- 0.0;
+    h.min <- infinity;
+    h.max <- neg_infinity;
+    Array.fill h.buckets 0 bucket_count 0
+
+  type snap = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    buckets : int array;
+  }
+
+  let snap (h : t) =
+    {
+      count = h.count;
+      sum = h.sum;
+      min = h.min;
+      max = h.max;
+      buckets = Array.copy h.buckets;
+    }
+
+  let empty =
+    {
+      count = 0;
+      sum = 0.0;
+      min = infinity;
+      max = neg_infinity;
+      buckets = Array.make bucket_count 0;
+    }
+
+  let merge a b =
+    {
+      count = a.count + b.count;
+      sum = a.sum +. b.sum;
+      min = Float.min a.min b.min;
+      max = Float.max a.max b.max;
+      buckets = Array.init bucket_count (fun i -> a.buckets.(i) + b.buckets.(i));
+    }
+
+  let mean s = if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
+end
+
+(* ------------------------------------------------------------------ *)
+(* Instruments and registry *)
+
+type counter = { mutable c_v : int }
+
+type gauge = { mutable g_v : float }
+
+type byte_acc = { mutable b_count : int; mutable b_bytes : int }
+
+type instrument =
+  | I_counter of counter
+  | I_gauge of gauge
+  | I_bytes of byte_acc
+  | I_hist of Hist.t
+
+type arg = Str of string | Int of int | F of float
+
+type phase = Instant | Complete of float
+
+type event = {
+  ts : float;
+  node : int;
+  layer : layer;
+  name : string;
+  phase : phase;
+  args : (string * arg) list;
+}
+
+type t = {
+  tbl : (key, instrument) Hashtbl.t;
+  mutable clock : unit -> float;
+  mutable on : bool;
+  mutable events_rev : event list;
+}
+
+let create ?(clock = fun () -> 0.0) () =
+  { tbl = Hashtbl.create 64; clock; on = false; events_rev = [] }
+
+let set_clock t clock = t.clock <- clock
+
+let now t = t.clock ()
+
+let kind_error (key : key) =
+  invalid_arg
+    (Printf.sprintf "Obs: %s/%s/n%d already registered with another kind"
+       (layer_name key.layer) key.name key.node)
+
+let counter t ~node ~layer name =
+  let key = { node; layer; name } in
+  match Hashtbl.find_opt t.tbl key with
+  | Some (I_counter c) -> c
+  | Some _ -> kind_error key
+  | None ->
+    let c = { c_v = 0 } in
+    Hashtbl.replace t.tbl key (I_counter c);
+    c
+
+let gauge t ~node ~layer name =
+  let key = { node; layer; name } in
+  match Hashtbl.find_opt t.tbl key with
+  | Some (I_gauge g) -> g
+  | Some _ -> kind_error key
+  | None ->
+    let g = { g_v = 0.0 } in
+    Hashtbl.replace t.tbl key (I_gauge g);
+    g
+
+let byte_acc t ~node ~layer name =
+  let key = { node; layer; name } in
+  match Hashtbl.find_opt t.tbl key with
+  | Some (I_bytes a) -> a
+  | Some _ -> kind_error key
+  | None ->
+    let a = { b_count = 0; b_bytes = 0 } in
+    Hashtbl.replace t.tbl key (I_bytes a);
+    a
+
+let histogram t ~node ~layer name =
+  let key = { node; layer; name } in
+  match Hashtbl.find_opt t.tbl key with
+  | Some (I_hist h) -> h
+  | Some _ -> kind_error key
+  | None ->
+    let h = Hist.create () in
+    Hashtbl.replace t.tbl key (I_hist h);
+    h
+
+let inc c = c.c_v <- c.c_v + 1
+
+let add c n = c.c_v <- c.c_v + n
+
+let value c = c.c_v
+
+let set_gauge g v = g.g_v <- v
+
+let add_gauge g v = g.g_v <- g.g_v +. v
+
+let gauge_value g = g.g_v
+
+let acc_bytes a n =
+  a.b_count <- a.b_count + 1;
+  a.b_bytes <- a.b_bytes + n
+
+let acc_count a = a.b_count
+
+let acc_total a = a.b_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+let counter_value t ~node ~layer name =
+  match Hashtbl.find_opt t.tbl { node; layer; name } with
+  | Some (I_counter c) -> c.c_v
+  | Some _ | None -> 0
+
+let sum_counters t ~layer name =
+  Hashtbl.fold
+    (fun (key : key) inst acc ->
+      match inst with
+      | I_counter c when key.layer = layer && String.equal key.name name ->
+        acc + c.c_v
+      | _ -> acc)
+    t.tbl 0
+
+let sum_gauges t ~layer name =
+  (* Sum in key order: float addition order must be deterministic. *)
+  let vs =
+    Hashtbl.fold
+      (fun (key : key) inst acc ->
+        match inst with
+        | I_gauge g when key.layer = layer && String.equal key.name name ->
+          (key, g.g_v) :: acc
+        | _ -> acc)
+      t.tbl []
+  in
+  List.fold_left
+    (fun acc (_, v) -> acc +. v)
+    0.0
+    (List.sort (fun (a, _) (b, _) -> compare_key a b) vs)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type value_v =
+  | Counter_v of int
+  | Gauge_v of float
+  | Bytes_v of { count : int; bytes : int }
+  | Hist_v of Hist.snap
+
+type snapshot = (key * value_v) list (* sorted by compare_key *)
+
+let snapshot t =
+  Hashtbl.fold
+    (fun (key : key) inst acc ->
+      let v =
+        match inst with
+        | I_counter c -> Counter_v c.c_v
+        | I_gauge g -> Gauge_v g.g_v
+        | I_bytes a -> Bytes_v { count = a.b_count; bytes = a.b_bytes }
+        | I_hist h -> Hist_v (Hist.snap h)
+      in
+      (key, v) :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare_key a b)
+
+let sub_value later earlier =
+  match (later, earlier) with
+  | Counter_v a, Counter_v b -> Counter_v (a - b)
+  | Gauge_v a, Gauge_v b -> Gauge_v (a -. b)
+  | Bytes_v a, Bytes_v b ->
+    Bytes_v { count = a.count - b.count; bytes = a.bytes - b.bytes }
+  | Hist_v a, Hist_v b ->
+    Hist_v
+      {
+        Hist.count = a.Hist.count - b.Hist.count;
+        sum = a.Hist.sum -. b.Hist.sum;
+        min = a.Hist.min;
+        max = a.Hist.max;
+        buckets =
+          Array.init Hist.bucket_count (fun i ->
+              a.Hist.buckets.(i) - b.Hist.buckets.(i));
+      }
+  | _ -> invalid_arg "Obs.diff: instrument changed kind between snapshots"
+
+let add_value a b =
+  match (a, b) with
+  | Counter_v x, Counter_v y -> Counter_v (x + y)
+  | Gauge_v x, Gauge_v y -> Gauge_v (x +. y)
+  | Bytes_v x, Bytes_v y ->
+    Bytes_v { count = x.count + y.count; bytes = x.bytes + y.bytes }
+  | Hist_v x, Hist_v y -> Hist_v (Hist.merge x y)
+  | _ -> invalid_arg "Obs.merge: mismatched instrument kinds"
+
+(* Merge two key-sorted association lists with [combine] on collisions. *)
+let rec merge_sorted combine a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | (ka, va) :: ta, (kb, vb) :: tb -> (
+    match compare_key ka kb with
+    | 0 -> (ka, combine va vb) :: merge_sorted combine ta tb
+    | c when c < 0 -> (ka, va) :: merge_sorted combine ta b
+    | _ -> (kb, vb) :: merge_sorted combine a tb)
+
+let diff ~earlier later =
+  let earlier_tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace earlier_tbl k v) earlier;
+  List.map
+    (fun (k, v) ->
+      match Hashtbl.find_opt earlier_tbl k with
+      | None -> (k, v)
+      | Some e -> (k, sub_value v e))
+    later
+
+let merge_snapshots a b = merge_sorted add_value a b
+
+let find (snap : snapshot) ~node ~layer name =
+  List.find_map
+    (fun ((k : key), v) ->
+      if k.node = node && k.layer = layer && String.equal k.name name then
+        Some v
+      else None)
+    snap
+
+let bindings snap = snap
+
+let reset t =
+  Hashtbl.iter
+    (fun _ inst ->
+      match inst with
+      | I_counter c -> c.c_v <- 0
+      | I_gauge g -> g.g_v <- 0.0
+      | I_bytes a ->
+        a.b_count <- 0;
+        a.b_bytes <- 0
+      | I_hist h -> Hist.reset h)
+    t.tbl;
+  t.events_rev <- []
+
+(* ------------------------------------------------------------------ *)
+(* Tracing *)
+
+let set_tracing t b = t.on <- b
+
+let tracing t = t.on
+
+let event ?(args = []) t ~node ~layer name =
+  if t.on then
+    t.events_rev <-
+      { ts = t.clock (); node; layer; name; phase = Instant; args }
+      :: t.events_rev
+
+let event_at ?(args = []) t ~ts ~node ~layer name =
+  if t.on then
+    t.events_rev <- { ts; node; layer; name; phase = Instant; args } :: t.events_rev
+
+let complete_at ?(args = []) t ~ts ~duration ~node ~layer name =
+  if t.on then
+    t.events_rev <-
+      { ts; node; layer; name; phase = Complete duration; args }
+      :: t.events_rev
+
+let span ?(args = []) t ~node ~layer name f =
+  if not t.on then f ()
+  else begin
+    let start = t.clock () in
+    let finish () =
+      complete_at ~args t ~ts:start
+        ~duration:(t.clock () -. start)
+        ~node ~layer name
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let events t = List.rev t.events_rev
+
+let clear_events t = t.events_rev <- []
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Fixed float rendering so identical runs dump identical bytes; JSON has
+   no infinities, so clamp empty-histogram extrema to 0. *)
+let json_float b f =
+  let f = if Float.is_nan f || f = infinity || f = neg_infinity then 0.0 else f in
+  Buffer.add_string b (Printf.sprintf "%.9g" f)
+
+let json_arg b = function
+  | Str s -> json_string b s
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | F f -> json_float b f
+
+let json_args b args =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      json_string b k;
+      Buffer.add_char b ':';
+      json_arg b v)
+    args;
+  Buffer.add_char b '}'
+
+(* One Chrome trace_event object.  Nodes map to pids (global_node as a
+   "cluster" pseudo-process), layers to tids. *)
+let event_json b e =
+  Buffer.add_string b "{\"name\":";
+  json_string b e.name;
+  Buffer.add_string b ",\"cat\":";
+  json_string b (layer_name e.layer);
+  (match e.phase with
+  | Instant -> Buffer.add_string b ",\"ph\":\"i\",\"s\":\"t\""
+  | Complete d ->
+    Buffer.add_string b ",\"ph\":\"X\",\"dur\":";
+    json_float b (d *. 1e6));
+  Buffer.add_string b ",\"ts\":";
+  json_float b (e.ts *. 1e6);
+  Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d" e.node
+                         (layer_index e.layer));
+  if e.args <> [] then begin
+    Buffer.add_string b ",\"args\":";
+    json_args b e.args
+  end;
+  Buffer.add_char b '}'
+
+let metadata_json b ~pid ~name =
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":"
+       pid);
+  json_string b name;
+  Buffer.add_string b "}}"
+
+let pp_chrome_trace ppf t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let evs = events t in
+  (* Name the processes that appear: nodes and the cluster pseudo-node. *)
+  let nodes =
+    List.sort_uniq compare (List.map (fun e -> e.node) evs)
+  in
+  let first = ref true in
+  let emit emit_fn =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_char b '\n';
+    emit_fn ()
+  in
+  List.iter
+    (fun n ->
+      emit (fun () ->
+          metadata_json b ~pid:n
+            ~name:(if n = global_node then "cluster" else Printf.sprintf "node %d" n)))
+    nodes;
+  List.iter (fun e -> emit (fun () -> event_json b e)) evs;
+  Buffer.add_string b "\n]}\n";
+  Format.pp_print_string ppf (Buffer.contents b)
+
+let pp_trace_jsonl ppf t =
+  List.iter
+    (fun e ->
+      let b = Buffer.create 256 in
+      event_json b e;
+      Format.pp_print_string ppf (Buffer.contents b);
+      Format.pp_print_string ppf "\n")
+    (events t)
+
+let key_json b (k : key) =
+  Buffer.add_string b (Printf.sprintf "{\"node\":%d,\"layer\":" k.node);
+  json_string b (layer_name k.layer);
+  Buffer.add_string b ",\"name\":";
+  json_string b k.name
+
+let pp_metrics_jsonl ppf (snap : snapshot) =
+  List.iter
+    (fun ((k : key), v) ->
+      let b = Buffer.create 128 in
+      key_json b k;
+      (match v with
+      | Counter_v n ->
+        Buffer.add_string b (Printf.sprintf ",\"type\":\"counter\",\"value\":%d" n)
+      | Gauge_v g ->
+        Buffer.add_string b ",\"type\":\"gauge\",\"value\":";
+        json_float b g
+      | Bytes_v { count; bytes } ->
+        Buffer.add_string b
+          (Printf.sprintf ",\"type\":\"bytes\",\"count\":%d,\"bytes\":%d" count
+             bytes)
+      | Hist_v h ->
+        Buffer.add_string b
+          (Printf.sprintf ",\"type\":\"histogram\",\"count\":%d,\"sum\":"
+             h.Hist.count);
+        json_float b h.Hist.sum;
+        Buffer.add_string b ",\"min\":";
+        json_float b h.Hist.min;
+        Buffer.add_string b ",\"max\":";
+        json_float b h.Hist.max;
+        Buffer.add_string b ",\"mean\":";
+        json_float b (Hist.mean h));
+      Buffer.add_char b '}';
+      Format.pp_print_string ppf (Buffer.contents b);
+      Format.pp_print_string ppf "\n")
+    snap
+
+let pp_metrics ppf (snap : snapshot) =
+  List.iter
+    (fun ((k : key), v) ->
+      let node =
+        if k.node = global_node then "  *" else Printf.sprintf "n%2d" k.node
+      in
+      Format.fprintf ppf "%s %-6s %-28s " node (layer_name k.layer) k.name;
+      (match v with
+      | Counter_v n -> Format.fprintf ppf "%d" n
+      | Gauge_v g -> Format.fprintf ppf "%.6f" g
+      | Bytes_v { count; bytes } ->
+        Format.fprintf ppf "%d msgs, %d bytes" count bytes
+      | Hist_v h ->
+        Format.fprintf ppf "n=%d mean=%.6f" h.Hist.count (Hist.mean h));
+      Format.fprintf ppf "@.")
+    snap

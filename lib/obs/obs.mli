@@ -1,0 +1,241 @@
+(** Typed observability layer: one metrics registry and one trace buffer
+    for the whole simulated cluster.
+
+    Every layer of the system (sim, net, vm, dsm, carlos, apps) registers
+    its instruments here instead of keeping private mutable counters, so
+    that the paper's entire evaluation — Figure 2's execution breakdown,
+    the message/volume/utilisation columns of Tables 1–3, the §5.4
+    annotation-cost study — derives from a single, uniformly exported set
+    of numbers.
+
+    Instruments are keyed by [node × layer × name].  Four kinds exist:
+
+    - {e counters}: monotone integer event counts;
+    - {e gauges}: float accumulators (virtual-time totals, stored bytes);
+    - {e byte accumulators}: a count plus a byte total (messages + volume);
+    - {e histograms}: virtual-time / size distributions with power-of-two
+      buckets.
+
+    Reading is explicit: benchmarks take {!snapshot}s and {!diff} them
+    across phases rather than resetting hidden global state, so phases can
+    never double-count.
+
+    The registry also owns the typed event/span trace (off by default, one
+    branch per event when disabled) with Chrome [trace_event] JSON and
+    JSONL exporters.  All exports are deterministically ordered: two
+    identical simulation runs emit byte-identical dumps. *)
+
+(** {1 Keys} *)
+
+type layer = Sim | Net | Vm | Dsm | Carlos | App
+
+val layer_name : layer -> string
+
+(** Pseudo-node for cluster-wide instruments (the shared wire, the
+    datagram service): no single node owns them. *)
+val global_node : int
+
+type key = { node : int; layer : layer; name : string }
+
+(** Total order used by every exporter and snapshot. *)
+val compare_key : key -> key -> int
+
+(** {1 Histograms} *)
+
+module Hist : sig
+  (** Mutable histogram: count, sum, min, max plus power-of-two buckets
+      (bucket [i] counts observations with exponent [i - 40], covering
+      roughly 1e-12 .. 1e7 — enough for virtual-time durations in seconds
+      and object sizes in bytes). *)
+
+  type t
+
+  val bucket_count : int
+
+  val create : unit -> t
+
+  val observe : t -> float -> unit
+
+  (** Immutable summary.  [min]/[max] are [infinity]/[neg_infinity] when
+      [count = 0]. *)
+  type snap = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    buckets : int array;
+  }
+
+  val snap : t -> snap
+
+  val empty : snap
+
+  (** Pointwise sum.  Commutative, and associative whenever the sums are
+      exactly representable (e.g. integer-valued observations). *)
+  val merge : snap -> snap -> snap
+
+  val mean : snap -> float
+end
+
+(** {1 Registry} *)
+
+type t
+
+(** [create ()] builds an empty registry.  The clock (used to timestamp
+    span/trace events) defaults to a constant [0.0]; wire it to the
+    simulation engine with {!set_clock}. *)
+val create : ?clock:(unit -> float) -> unit -> t
+
+val set_clock : t -> (unit -> float) -> unit
+
+val now : t -> float
+
+(** {1 Instruments}
+
+    Registration is idempotent: asking twice for the same key returns the
+    same instrument.  Asking for an existing key with a different kind
+    raises [Invalid_argument]. *)
+
+type counter
+
+type gauge
+
+type byte_acc
+
+val counter : t -> node:int -> layer:layer -> string -> counter
+
+val gauge : t -> node:int -> layer:layer -> string -> gauge
+
+val byte_acc : t -> node:int -> layer:layer -> string -> byte_acc
+
+val histogram : t -> node:int -> layer:layer -> string -> Hist.t
+
+val inc : counter -> unit
+
+val add : counter -> int -> unit
+
+val value : counter -> int
+
+val set_gauge : gauge -> float -> unit
+
+val add_gauge : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+(** [acc_bytes a n] records one event of [n] bytes. *)
+val acc_bytes : byte_acc -> int -> unit
+
+val acc_count : byte_acc -> int
+
+val acc_total : byte_acc -> int
+
+(** {1 Queries} *)
+
+(** Current value of a counter registered under the key, or 0. *)
+val counter_value : t -> node:int -> layer:layer -> string -> int
+
+(** Sum of one named counter over every node (layer-wide totals, e.g. all
+    messages sent by any node). *)
+val sum_counters : t -> layer:layer -> string -> int
+
+val sum_gauges : t -> layer:layer -> string -> float
+
+(** {1 Snapshots} *)
+
+type value_v =
+  | Counter_v of int
+  | Gauge_v of float
+  | Bytes_v of { count : int; bytes : int }
+  | Hist_v of Hist.snap
+
+(** An immutable, deterministically ordered copy of every instrument. *)
+type snapshot
+
+val snapshot : t -> snapshot
+
+(** [diff ~earlier later] subtracts instrument-wise: what happened between
+    the two snapshots.  Keys missing from [earlier] pass through.  A
+    histogram diff subtracts counts, sums and buckets but keeps the later
+    [min]/[max] (extrema are not invertible). *)
+val diff : earlier:snapshot -> snapshot -> snapshot
+
+(** Instrument-wise sum of two snapshots (cluster-level aggregation). *)
+val merge_snapshots : snapshot -> snapshot -> snapshot
+
+val find : snapshot -> node:int -> layer:layer -> string -> value_v option
+
+val bindings : snapshot -> (key * value_v) list
+
+(** Zero every instrument and drop all trace events.  For test isolation
+    only — production code must use {!snapshot}/{!diff} instead. *)
+val reset : t -> unit
+
+(** {1 Tracing} *)
+
+type arg = Str of string | Int of int | F of float
+
+type phase =
+  | Instant
+  | Complete of float  (** duration in virtual seconds *)
+
+type event = {
+  ts : float;
+  node : int;
+  layer : layer;
+  name : string;
+  phase : phase;
+  args : (string * arg) list;
+}
+
+val set_tracing : t -> bool -> unit
+
+val tracing : t -> bool
+
+(** Record an instant event at the clock's current time.  One branch when
+    tracing is disabled. *)
+val event : ?args:(string * arg) list -> t -> node:int -> layer:layer -> string -> unit
+
+(** Record an instant event at an explicit virtual time. *)
+val event_at :
+  ?args:(string * arg) list ->
+  t -> ts:float -> node:int -> layer:layer -> string -> unit
+
+(** Record a complete (begin/end) event spanning [duration] starting at
+    [ts]. *)
+val complete_at :
+  ?args:(string * arg) list ->
+  t -> ts:float -> duration:float -> node:int -> layer:layer -> string -> unit
+
+(** [span t ~node ~layer name f] runs [f ()]; when tracing, a complete
+    event covering [f]'s virtual-time extent is recorded (also when [f]
+    raises).  The clock must be wired for the extent to be meaningful. *)
+val span :
+  ?args:(string * arg) list ->
+  t -> node:int -> layer:layer -> string -> (unit -> 'a) -> 'a
+
+(** Recorded events, oldest first (insertion order; a span is inserted at
+    its end time). *)
+val events : t -> event list
+
+val clear_events : t -> unit
+
+(** {1 Exporters}
+
+    All exporters print in a deterministic order (events in insertion
+    order, metrics in {!compare_key} order) with fixed float formatting,
+    so identical runs produce byte-identical output. *)
+
+(** Chrome [trace_event] JSON (the "JSON Object Format"): open the file in
+    [chrome://tracing] or [https://ui.perfetto.dev].  Nodes become
+    processes, layers become threads; timestamps are microseconds of
+    virtual time. *)
+val pp_chrome_trace : Format.formatter -> t -> unit
+
+(** One Chrome-style event object per line. *)
+val pp_trace_jsonl : Format.formatter -> t -> unit
+
+(** One JSON object per instrument per line. *)
+val pp_metrics_jsonl : Format.formatter -> snapshot -> unit
+
+(** Human-readable metrics table. *)
+val pp_metrics : Format.formatter -> snapshot -> unit

@@ -1,22 +1,45 @@
+module Obs = Carlos_obs.Obs
+
+type t = Obs.t
+
 type event = { time : float; node : int; tag : string; detail : string }
 
-type t = { mutable on : bool; mutable log : event list }
+let create ?(enabled = false) () =
+  let o = Obs.create () in
+  Obs.set_tracing o enabled;
+  o
 
-let create ?(enabled = false) () = { on = enabled; log = [] }
+let enabled = Obs.tracing
 
-let enabled t = t.on
-
-let set_enabled t b = t.on <- b
+let set_enabled = Obs.set_tracing
 
 let record t ~time ~node ~tag ~detail =
-  if t.on then t.log <- { time; node; tag; detail } :: t.log
+  Obs.event_at t ~args:[ ("detail", Obs.Str detail) ] ~ts:time ~node
+    ~layer:Obs.Sim tag
 
-let events t = List.rev t.log
+let render_arg = function
+  | Obs.Str s -> s
+  | Obs.Int i -> string_of_int i
+  | Obs.F f -> Printf.sprintf "%g" f
+
+(* The flat view of an argument list: a lone "detail" string round-trips
+   [record] exactly; anything else renders as "k=v" pairs. *)
+let detail_of_args = function
+  | [] -> ""
+  | [ ("detail", Obs.Str s) ] -> s
+  | args ->
+    String.concat " "
+      (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (render_arg v)) args)
+
+let of_obs (e : Obs.event) =
+  { time = e.ts; node = e.node; tag = e.name; detail = detail_of_args e.args }
+
+let events t = List.map of_obs (Obs.events t)
 
 let events_with_tag t tag =
   List.filter (fun e -> String.equal e.tag tag) (events t)
 
-let clear t = t.log <- []
+let clear = Obs.clear_events
 
 let pp_event ppf e =
   Format.fprintf ppf "[%.6f] n%d %s: %s" e.time e.node e.tag e.detail

@@ -1,23 +1,34 @@
-(** Lightweight structured event trace.
+(** Legacy structured event trace, now a thin shim over {!Carlos_obs.Obs}.
 
-    Tracing is off by default and costs one branch per event when disabled.
-    Used by tests to assert on protocol event orderings and by the CLI's
-    [--trace] flag. *)
+    Historically each [Trace.t] was a private list of stringly-typed
+    events; today it {e is} the typed observability registry
+    ([type t = Obs.t]), and these functions translate between the old
+    [tag]/[detail] view and typed [Obs] events.  Tracing is off by
+    default and costs one branch per event when disabled.
 
-type t
+    New code should use [Obs.event]/[Obs.span] directly; this interface
+    remains for tests and tooling that consume the flat view. *)
+
+type t = Carlos_obs.Obs.t
 
 type event = { time : float; node : int; tag : string; detail : string }
 
+(** A fresh private registry with tracing switched per [enabled].
+    Production code shares the system-wide registry instead. *)
 val create : ?enabled:bool -> unit -> t
 
 val enabled : t -> bool
 
 val set_enabled : t -> bool -> unit
 
-(** Record an event at virtual time [time] (pass [Engine.now]). *)
+(** Record an event at virtual time [time] (pass [Engine.now]).  Recorded
+    as a typed [Obs] instant event under the [Sim] layer with the detail
+    string as an argument. *)
 val record : t -> time:float -> node:int -> tag:string -> detail:string -> unit
 
-(** All recorded events, oldest first. *)
+(** All recorded events, oldest first.  Typed events recorded directly
+    through [Obs] appear too: [tag] is the event name and [detail] is the
+    rendered argument list. *)
 val events : t -> event list
 
 (** Events whose [tag] equals the argument, oldest first. *)

@@ -1,23 +1,27 @@
+module Obs = Carlos_obs.Obs
+
 type t = {
   table : Page.t array;
   page_size : int;
   mutable on_read_fault : int -> unit;
   mutable on_write_fault : int -> unit;
-  mutable read_faults : int;
-  mutable write_faults : int;
+  read_faults_c : Obs.counter;
+  write_faults_c : Obs.counter;
 }
 
 let no_handler _ = invalid_arg "Page_table: no fault handler installed"
 
-let create ~pages ~page_size =
+let create ?obs ?node ~pages ~page_size () =
   if pages < 0 then invalid_arg "Page_table.create: pages";
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let node = match node with Some n -> n | None -> Obs.global_node in
   {
     table = Array.init pages (fun _ -> Page.create ~size:page_size);
     page_size;
     on_read_fault = no_handler;
     on_write_fault = no_handler;
-    read_faults = 0;
-    write_faults = 0;
+    read_faults_c = Obs.counter obs ~node ~layer:Obs.Vm "read_faults";
+    write_faults_c = Obs.counter obs ~node ~layer:Obs.Vm "write_faults";
   }
 
 let pages t = Array.length t.table
@@ -47,7 +51,7 @@ let ensure_readable t i =
     | Page.Invalid ->
       if n >= max_fault_retries then
         invalid_arg "Page_table: read fault handler left page invalid";
-      t.read_faults <- t.read_faults + 1;
+      Obs.inc t.read_faults_c;
       t.on_read_fault i;
       attempt (n + 1)
   in
@@ -63,16 +67,12 @@ let ensure_writable t i =
       ensure_readable t i;
       attempt (n + 1)
     | Page.Read_only ->
-      t.write_faults <- t.write_faults + 1;
+      Obs.inc t.write_faults_c;
       t.on_write_fault i;
       attempt (n + 1)
   in
   attempt 0
 
-let read_faults t = t.read_faults
+let read_faults t = Obs.value t.read_faults_c
 
-let write_faults t = t.write_faults
-
-let reset_stats t =
-  t.read_faults <- 0;
-  t.write_faults <- 0
+let write_faults t = Obs.value t.write_faults_c

@@ -8,7 +8,11 @@
 
 type t
 
-val create : pages:int -> page_size:int -> t
+(** [create ?obs ?node ~pages ~page_size ()] — fault counters register in
+    [obs] (a fresh private registry by default) under the [Vm] layer for
+    [node] (default {!Carlos_obs.Obs.global_node}). *)
+val create :
+  ?obs:Carlos_obs.Obs.t -> ?node:int -> pages:int -> page_size:int -> unit -> t
 
 val pages : t -> int
 
@@ -32,10 +36,11 @@ val ensure_readable : t -> int -> unit
     with a real protection trap). *)
 val ensure_writable : t -> int -> unit
 
-(** {1 Statistics} *)
+(** {1 Statistics}
+
+    Counters [read_faults]/[write_faults] in the registry, cumulative
+    since creation — snapshot/diff the registry to measure a phase. *)
 
 val read_faults : t -> int
 
 val write_faults : t -> int
-
-val reset_stats : t -> unit

@@ -5,15 +5,16 @@ type t = {
   noncoherent : Bytes.t;
 }
 
-let create ~region ~noncoherent =
+let create ?obs ?node ~region ~noncoherent () =
   if Bytes.length noncoherent <> Region.noncoherent_bytes region then
     invalid_arg "Shm.create: noncoherent backing store has the wrong size";
   {
     region;
     page_table =
-      Page_table.create
+      Page_table.create ?obs ?node
         ~pages:(Region.coherent_pages region)
-        ~page_size:(Region.page_size region);
+        ~page_size:(Region.page_size region)
+        ();
     private_mem = Bytes.make (Region.private_bytes region) '\000';
     noncoherent;
   }

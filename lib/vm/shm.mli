@@ -11,9 +11,17 @@
 
 type t
 
-(** [create ~region ~noncoherent] builds a node view.  [noncoherent] is the
-    backing store shared between all views of one cluster. *)
-val create : region:Region.t -> noncoherent:Bytes.t -> t
+(** [create ?obs ?node ~region ~noncoherent ()] builds a node view.
+    [noncoherent] is the backing store shared between all views of one
+    cluster; [obs]/[node] locate the page table's fault counters in the
+    observability registry. *)
+val create :
+  ?obs:Carlos_obs.Obs.t ->
+  ?node:int ->
+  region:Region.t ->
+  noncoherent:Bytes.t ->
+  unit ->
+  t
 
 val region : t -> Region.t
 

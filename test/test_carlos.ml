@@ -15,6 +15,7 @@ module Msg_lock = Carlos.Msg_lock
 module Msg_barrier = Carlos.Msg_barrier
 module Msg_semaphore = Carlos.Msg_semaphore
 module Work_queue = Carlos.Work_queue
+module Obs = Carlos_obs.Obs
 
 let test_config ?(nodes = 4) () =
   {
@@ -555,19 +556,24 @@ let test_global_gc_under_load () =
 (* ------------------------------------------------------------------ *)
 (* Determinism and reporting *)
 
-let run_report () =
+let run_report_sys () =
   let sys = make () in
   let lock = Msg_lock.create sys ~manager:0 ~name:"d" in
   let counter = System.alloc sys 8 in
   let barrier = Msg_barrier.create sys ~manager:0 ~name:"db" () in
-  System.run sys (fun node ->
-      for _ = 1 to 5 do
-        Msg_lock.with_lock lock node (fun () ->
-            let v = Shm.read_i64 (Node.shm node) counter in
-            Node.compute node 0.001;
-            Shm.write_i64 (Node.shm node) counter (v + 1))
-      done;
-      Msg_barrier.wait barrier node)
+  let report =
+    System.run sys (fun node ->
+        for _ = 1 to 5 do
+          Msg_lock.with_lock lock node (fun () ->
+              let v = Shm.read_i64 (Node.shm node) counter in
+              Node.compute node 0.001;
+              Shm.write_i64 (Node.shm node) counter (v + 1))
+        done;
+        Msg_barrier.wait barrier node)
+  in
+  (sys, report)
+
+let run_report () = snd (run_report_sys ())
 
 let test_determinism () =
   let r1 = run_report () and r2 = run_report () in
@@ -575,6 +581,68 @@ let test_determinism () =
   Alcotest.(check int) "same messages" r1.System.messages r2.System.messages;
   Alcotest.(check int) "same bytes" r1.System.message_bytes
     r2.System.message_bytes
+
+(* Two identical runs must emit byte-identical observability exports: the
+   JSONL event trace, the metrics dump and the Chrome trace. *)
+let test_determinism_exports () =
+  let dump () =
+    let sys = make () in
+    System.set_tracing sys true;
+    let lock = Msg_lock.create sys ~manager:0 ~name:"d" in
+    let counter = System.alloc sys 8 in
+    let barrier = Msg_barrier.create sys ~manager:0 ~name:"db" () in
+    let (_ : System.report) =
+      System.run sys (fun node ->
+          for _ = 1 to 5 do
+            Msg_lock.with_lock lock node (fun () ->
+                let v = Shm.read_i64 (Node.shm node) counter in
+                Node.compute node 0.001;
+                Shm.write_i64 (Node.shm node) counter (v + 1))
+          done;
+          Msg_barrier.wait barrier node)
+    in
+    let render pp x =
+      let buf = Buffer.create 8192 in
+      let ppf = Format.formatter_of_buffer buf in
+      pp ppf x;
+      Format.pp_print_flush ppf ();
+      Buffer.contents buf
+    in
+    let obs = System.obs sys in
+    ( render Obs.pp_trace_jsonl obs,
+      render Obs.pp_metrics_jsonl (Obs.snapshot obs),
+      render Obs.pp_chrome_trace obs )
+  in
+  let t1, m1, c1 = dump () and t2, m2, c2 = dump () in
+  Alcotest.(check bool) "trace non-empty" true (String.length t1 > 0);
+  Alcotest.(check bool) "metrics non-empty" true (String.length m1 > 0);
+  Alcotest.(check string) "identical JSONL traces" t1 t2;
+  Alcotest.(check string) "identical metrics dumps" m1 m2;
+  Alcotest.(check string) "identical Chrome traces" c1 c2
+
+(* The registry and System.report must tell the same story: the report is
+   a view over registry data, not a second accounting. *)
+let test_report_matches_registry () =
+  let sys, r = run_report_sys () in
+  let obs = System.obs sys in
+  Alcotest.(check int) "messages = sum of msgs.sent"
+    (Obs.sum_counters obs ~layer:Obs.Carlos "msgs.sent")
+    r.System.messages;
+  Alcotest.(check int) "bytes = sum of msgs.bytes"
+    (Obs.sum_counters obs ~layer:Obs.Carlos "msgs.bytes")
+    r.System.message_bytes;
+  Array.iter
+    (fun nr ->
+      Alcotest.(check (float 1e-12))
+        "user gauge"
+        (match
+           Obs.find (Obs.snapshot obs) ~node:nr.System.node ~layer:Obs.Carlos
+             "time.user"
+         with
+        | Some (Obs.Gauge_v g) -> g
+        | _ -> Alcotest.fail "time.user gauge missing")
+        nr.System.user)
+    r.System.per_node
 
 (* ------------------------------------------------------------------ *)
 (* Randomized whole-stack property: arbitrary lock/barrier programs over
@@ -766,6 +834,10 @@ let () =
         [
           Alcotest.test_case "gc under load" `Quick test_global_gc_under_load;
           Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "deterministic exports" `Quick
+            test_determinism_exports;
+          Alcotest.test_case "report matches registry" `Quick
+            test_report_matches_registry;
           Alcotest.test_case "report consistency" `Quick
             test_report_consistency;
           Alcotest.test_case "tracing" `Quick test_tracing;

@@ -27,7 +27,7 @@ let make_cluster ?strategy n =
       ~coherent_pages:8 ()
   in
   let noncoherent = Bytes.make 256 '\000' in
-  let shms = Array.init n (fun _ -> Shm.create ~region ~noncoherent) in
+  let shms = Array.init n (fun _ -> Shm.create ~region ~noncoherent ()) in
   let charged = ref 0.0 in
   let charge dt = charged := !charged +. dt in
   let lrcs =

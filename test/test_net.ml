@@ -6,6 +6,7 @@ module Rng = Carlos_sim.Rng
 module Medium = Carlos_net.Medium
 module Datagram = Carlos_net.Datagram
 module Sliding_window = Carlos_net.Sliding_window
+module Obs = Carlos_obs.Obs
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -61,9 +62,23 @@ let test_medium_stats () =
   Alcotest.(check int) "bytes" 300 (Medium.bytes_sent medium);
   let util = Medium.utilization medium ~elapsed:1.0 in
   check_float "utilization" (300.0 /. ethernet_bw) util;
-  Medium.reset_stats medium;
-  Alcotest.(check int) "frames reset" 0 (Medium.frames_sent medium);
-  check_float "busy reset" 0.0 (Medium.wire_busy_time medium)
+  (* Phase measurement is snapshot/diff of the registry, not a hidden
+     reset: the cumulative counters are untouched. *)
+  let before = Obs.snapshot (Medium.obs medium) in
+  Engine.spawn eng (fun () -> Medium.send medium ~src:0 ~dst:1 ~size:50 ());
+  Engine.run eng;
+  let phase = Obs.diff ~earlier:before (Obs.snapshot (Medium.obs medium)) in
+  (match
+     Obs.find phase ~node:Obs.global_node ~layer:Obs.Net "medium.frames"
+   with
+  | Some (Obs.Counter_v n) -> Alcotest.(check int) "phase frames" 1 n
+  | _ -> Alcotest.fail "medium.frames missing from diff");
+  (match
+     Obs.find phase ~node:Obs.global_node ~layer:Obs.Net "medium.bytes"
+   with
+  | Some (Obs.Counter_v n) -> Alcotest.(check int) "phase bytes" 50 n
+  | _ -> Alcotest.fail "medium.bytes missing from diff");
+  Alcotest.(check int) "cumulative frames" 3 (Medium.frames_sent medium)
 
 let test_medium_pair_fifo () =
   (* Frames between one (src, dst) pair never reorder. *)
@@ -245,8 +260,17 @@ let test_sw_stats () =
   Alcotest.(check int) "sent" 2 (Sliding_window.messages_sent sw);
   Alcotest.(check int) "delivered" 2 (Sliding_window.messages_delivered sw);
   Alcotest.(check bool) "acks flowed" true (Sliding_window.acks_sent sw > 0);
-  Sliding_window.reset_stats sw;
-  Alcotest.(check int) "reset" 0 (Sliding_window.messages_sent sw)
+  let before = Obs.snapshot (Sliding_window.obs sw) in
+  Engine.spawn eng (fun () ->
+      Sliding_window.send sw ~src:0 ~dst:1 ~payload_bytes:10 ());
+  Engine.run eng;
+  let phase =
+    Obs.diff ~earlier:before (Obs.snapshot (Sliding_window.obs sw))
+  in
+  (match Obs.find phase ~node:Obs.global_node ~layer:Obs.Net "sw.sent" with
+  | Some (Obs.Counter_v n) -> Alcotest.(check int) "phase sent" 1 n
+  | _ -> Alcotest.fail "sw.sent missing from diff");
+  Alcotest.(check int) "cumulative sent" 3 (Sliding_window.messages_sent sw)
 
 (* ------------------------------------------------------------------ *)
 

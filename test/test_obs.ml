@@ -1,0 +1,297 @@
+(* Unit tests for the typed observability layer: registry semantics
+   (idempotent registration, snapshot/diff/merge, reset), histogram merge
+   algebra, tracing, and exporter determinism. *)
+
+module Obs = Carlos_obs.Obs
+
+let snap_value snap ~node ~layer name =
+  match Obs.find snap ~node ~layer name with
+  | Some v -> v
+  | None -> Alcotest.failf "instrument %s missing from snapshot" name
+
+let counter_of = function
+  | Obs.Counter_v n -> n
+  | _ -> Alcotest.fail "expected a counter"
+
+(* ------------------------------------------------------------------ *)
+(* Registry basics *)
+
+let test_instruments () =
+  let t = Obs.create () in
+  let c = Obs.counter t ~node:0 ~layer:Obs.Net "frames" in
+  Obs.inc c;
+  Obs.add c 4;
+  Alcotest.(check int) "counter" 5 (Obs.value c);
+  let g = Obs.gauge t ~node:0 ~layer:Obs.Carlos "time.user" in
+  Obs.add_gauge g 1.5;
+  Obs.add_gauge g 0.25;
+  Alcotest.(check (float 1e-12)) "gauge" 1.75 (Obs.gauge_value g);
+  Obs.set_gauge g 3.0;
+  Alcotest.(check (float 1e-12)) "gauge set" 3.0 (Obs.gauge_value g);
+  let a = Obs.byte_acc t ~node:1 ~layer:Obs.Carlos "msgs" in
+  Obs.acc_bytes a 100;
+  Obs.acc_bytes a 50;
+  Alcotest.(check int) "acc count" 2 (Obs.acc_count a);
+  Alcotest.(check int) "acc total" 150 (Obs.acc_total a)
+
+let test_registration_idempotent () =
+  let t = Obs.create () in
+  let c1 = Obs.counter t ~node:2 ~layer:Obs.Dsm "x" in
+  let c2 = Obs.counter t ~node:2 ~layer:Obs.Dsm "x" in
+  Obs.inc c1;
+  Obs.inc c2;
+  (* Same key, same instrument: both handles see both increments. *)
+  Alcotest.(check int) "shared" 2 (Obs.value c1);
+  (* Same name under a different node or layer is a distinct instrument. *)
+  let other = Obs.counter t ~node:3 ~layer:Obs.Dsm "x" in
+  Alcotest.(check int) "distinct node" 0 (Obs.value other)
+
+let test_kind_mismatch () =
+  let t = Obs.create () in
+  let (_ : Obs.counter) = Obs.counter t ~node:0 ~layer:Obs.Vm "n" in
+  match Obs.gauge t ~node:0 ~layer:Obs.Vm "n" with
+  | (_ : Obs.gauge) -> Alcotest.fail "kind mismatch must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_queries () =
+  let t = Obs.create () in
+  for node = 0 to 3 do
+    let c = Obs.counter t ~node ~layer:Obs.Carlos "msgs.sent" in
+    Obs.add c (node + 1)
+  done;
+  Alcotest.(check int) "sum over nodes" 10
+    (Obs.sum_counters t ~layer:Obs.Carlos "msgs.sent");
+  Alcotest.(check int) "single value" 3
+    (Obs.counter_value t ~node:2 ~layer:Obs.Carlos "msgs.sent");
+  Alcotest.(check int) "absent is zero" 0
+    (Obs.counter_value t ~node:9 ~layer:Obs.Carlos "msgs.sent")
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+let test_snapshot_diff () =
+  let t = Obs.create () in
+  let c = Obs.counter t ~node:0 ~layer:Obs.Net "frames" in
+  let g = Obs.gauge t ~node:0 ~layer:Obs.Carlos "time.user" in
+  Obs.add c 10;
+  Obs.add_gauge g 2.0;
+  let before = Obs.snapshot t in
+  Obs.add c 7;
+  Obs.add_gauge g 0.5;
+  (* A phase measured by diff sees only what happened in between... *)
+  let phase = Obs.diff ~earlier:before (Obs.snapshot t) in
+  Alcotest.(check int) "phase counter" 7
+    (counter_of (snap_value phase ~node:0 ~layer:Obs.Net "frames"));
+  (match snap_value phase ~node:0 ~layer:Obs.Carlos "time.user" with
+  | Obs.Gauge_v v -> Alcotest.(check (float 1e-12)) "phase gauge" 0.5 v
+  | _ -> Alcotest.fail "expected gauge");
+  (* ...while cumulative state is untouched (no hidden reset). *)
+  Alcotest.(check int) "cumulative" 17 (Obs.value c)
+
+let test_snapshot_merge () =
+  let a = Obs.create () and b = Obs.create () in
+  Obs.add (Obs.counter a ~node:0 ~layer:Obs.Vm "faults") 3;
+  Obs.add (Obs.counter b ~node:0 ~layer:Obs.Vm "faults") 4;
+  Obs.add (Obs.counter b ~node:1 ~layer:Obs.Vm "faults") 5;
+  let merged = Obs.merge_snapshots (Obs.snapshot a) (Obs.snapshot b) in
+  Alcotest.(check int) "summed" 7
+    (counter_of (snap_value merged ~node:0 ~layer:Obs.Vm "faults"));
+  Alcotest.(check int) "passthrough" 5
+    (counter_of (snap_value merged ~node:1 ~layer:Obs.Vm "faults"));
+  Alcotest.(check int) "key count" 2 (List.length (Obs.bindings merged))
+
+let test_reset () =
+  let t = Obs.create () in
+  let c = Obs.counter t ~node:0 ~layer:Obs.Sim "n" in
+  let h = Obs.histogram t ~node:0 ~layer:Obs.Sim "h" in
+  Obs.add c 5;
+  Obs.Hist.observe h 1.0;
+  Obs.set_tracing t true;
+  Obs.event t ~node:0 ~layer:Obs.Sim "e";
+  Obs.reset t;
+  Alcotest.(check int) "counter zeroed" 0 (Obs.value c);
+  Alcotest.(check int) "histogram zeroed" 0 (Obs.Hist.snap h).Obs.Hist.count;
+  Alcotest.(check int) "events dropped" 0 (List.length (Obs.events t))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram algebra *)
+
+let test_hist_basics () =
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.observe h) [ 1.0; 2.0; 4.0; 8.0 ];
+  let s = Obs.Hist.snap h in
+  Alcotest.(check int) "count" 4 s.Obs.Hist.count;
+  Alcotest.(check (float 1e-12)) "sum" 15.0 s.Obs.Hist.sum;
+  Alcotest.(check (float 1e-12)) "min" 1.0 s.Obs.Hist.min;
+  Alcotest.(check (float 1e-12)) "max" 8.0 s.Obs.Hist.max;
+  Alcotest.(check (float 1e-12)) "mean" 3.75 (Obs.Hist.mean s)
+
+(* Generator of histogram snapshots with small integer-valued observations:
+   the merge's float sums are then exact, so associativity is exact too. *)
+let hist_gen =
+  let open QCheck.Gen in
+  list_size (int_range 0 20) (int_range 0 1000) >>= fun xs ->
+  let h = Obs.Hist.create () in
+  List.iter (fun x -> Obs.Hist.observe h (float_of_int x)) xs;
+  return (Obs.Hist.snap h)
+
+let hist_eq a b =
+  a.Obs.Hist.count = b.Obs.Hist.count
+  && a.Obs.Hist.sum = b.Obs.Hist.sum
+  && a.Obs.Hist.min = b.Obs.Hist.min
+  && a.Obs.Hist.max = b.Obs.Hist.max
+  && a.Obs.Hist.buckets = b.Obs.Hist.buckets
+
+let prop_hist_merge_commutative =
+  QCheck.Test.make ~name:"histogram merge is commutative" ~count:100
+    (QCheck.make QCheck.Gen.(pair hist_gen hist_gen))
+    (fun (a, b) -> hist_eq (Obs.Hist.merge a b) (Obs.Hist.merge b a))
+
+let prop_hist_merge_associative =
+  QCheck.Test.make ~name:"histogram merge is associative" ~count:100
+    (QCheck.make QCheck.Gen.(triple hist_gen hist_gen hist_gen))
+    (fun (a, b, c) ->
+      hist_eq
+        (Obs.Hist.merge (Obs.Hist.merge a b) c)
+        (Obs.Hist.merge a (Obs.Hist.merge b c)))
+
+let prop_hist_merge_identity =
+  QCheck.Test.make ~name:"empty histogram is the merge identity" ~count:100
+    (QCheck.make hist_gen)
+    (fun a ->
+      hist_eq (Obs.Hist.merge a Obs.Hist.empty) a
+      && hist_eq (Obs.Hist.merge Obs.Hist.empty a) a)
+
+(* ------------------------------------------------------------------ *)
+(* Tracing *)
+
+let test_tracing_off_by_default () =
+  let t = Obs.create () in
+  Obs.event t ~node:0 ~layer:Obs.Net "dropped";
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.events t))
+
+let test_events_and_spans () =
+  let now = ref 0.0 in
+  let t = Obs.create ~clock:(fun () -> !now) () in
+  Obs.set_tracing t true;
+  now := 1.5;
+  Obs.event t ~node:2 ~layer:Obs.Carlos "send"
+    ~args:[ ("dst", Obs.Int 3) ];
+  let result =
+    Obs.span t ~node:2 ~layer:Obs.Dsm "lrc.accept" (fun () ->
+        now := 2.5;
+        42)
+  in
+  Alcotest.(check int) "span passes result through" 42 result;
+  match Obs.events t with
+  | [ e1; e2 ] ->
+    Alcotest.(check (float 0.0)) "instant ts" 1.5 e1.Obs.ts;
+    Alcotest.(check string) "instant name" "send" e1.Obs.name;
+    (match e1.Obs.phase with
+    | Obs.Instant -> ()
+    | Obs.Complete _ -> Alcotest.fail "expected instant");
+    Alcotest.(check (float 0.0)) "span start" 1.5 e2.Obs.ts;
+    (match e2.Obs.phase with
+    | Obs.Complete d -> Alcotest.(check (float 1e-12)) "span duration" 1.0 d
+    | Obs.Instant -> Alcotest.fail "expected complete")
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let render pp x =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  pp ppf x;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let populated () =
+  let t = Obs.create ~clock:(fun () -> 0.125) () in
+  Obs.set_tracing t true;
+  Obs.add (Obs.counter t ~node:1 ~layer:Obs.Net "frames") 3;
+  Obs.add_gauge (Obs.gauge t ~node:0 ~layer:Obs.Carlos "time.user") 0.5;
+  Obs.Hist.observe (Obs.histogram t ~node:0 ~layer:Obs.Vm "diff.bytes") 64.0;
+  Obs.acc_bytes (Obs.byte_acc t ~node:Obs.global_node ~layer:Obs.Net "d") 9;
+  Obs.event t ~node:1 ~layer:Obs.Carlos "send" ~args:[ ("x", Obs.Str "\"q\"") ];
+  t
+
+let test_chrome_trace_shape () =
+  let t = populated () in
+  let out = render Obs.pp_chrome_trace t in
+  Alcotest.(check bool) "object with traceEvents" true
+    (String.length out > 2
+    && String.sub out 0 1 = "{"
+    && contains ~affix:"\"traceEvents\":[" out);
+  Alcotest.(check bool) "pid/tid present" true
+    (contains ~affix:"\"pid\":1" out);
+  Alcotest.(check bool) "microsecond timestamps" true
+    (contains ~affix:"\"ts\":125000" out);
+  Alcotest.(check bool) "quotes escaped" true
+    (contains ~affix:{|\"q\"|} out)
+
+let test_metrics_jsonl_shape () =
+  let t = populated () in
+  let snap = Obs.snapshot t in
+  let out = render Obs.pp_metrics_jsonl snap in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' out)
+  in
+  Alcotest.(check int) "one line per instrument"
+    (List.length (Obs.bindings snap))
+    (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "line is an object" true
+        (String.length l > 1
+        && l.[0] = '{'
+        && l.[String.length l - 1] = '}'))
+    lines
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "instrument kinds" `Quick test_instruments;
+          Alcotest.test_case "registration idempotent" `Quick
+            test_registration_idempotent;
+          Alcotest.test_case "kind mismatch rejected" `Quick
+            test_kind_mismatch;
+          Alcotest.test_case "queries" `Quick test_queries;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "snapshot/diff" `Quick test_snapshot_diff;
+          Alcotest.test_case "merge" `Quick test_snapshot_merge;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "histograms",
+        Alcotest.test_case "basics" `Quick test_hist_basics
+        :: qcheck
+             [
+               prop_hist_merge_commutative;
+               prop_hist_merge_associative;
+               prop_hist_merge_identity;
+             ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "off by default" `Quick
+            test_tracing_off_by_default;
+          Alcotest.test_case "events and spans" `Quick test_events_and_spans;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "chrome trace shape" `Quick
+            test_chrome_trace_shape;
+          Alcotest.test_case "metrics jsonl shape" `Quick
+            test_metrics_jsonl_shape;
+        ] );
+    ]

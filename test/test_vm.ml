@@ -172,7 +172,7 @@ let test_page_install_and_validate () =
 (* Page table *)
 
 let test_page_table_fault_dispatch () =
-  let pt = Page_table.create ~pages:4 ~page_size:64 in
+  let pt = Page_table.create ~pages:4 ~page_size:64 () in
   let read_faults = ref [] and write_faults = ref [] in
   Page_table.set_read_fault pt (fun i ->
       read_faults := i :: !read_faults;
@@ -195,7 +195,7 @@ let test_page_table_fault_dispatch () =
   Alcotest.(check int) "stats writes" 1 (Page_table.write_faults pt)
 
 let test_page_table_write_to_invalid_takes_both_faults () =
-  let pt = Page_table.create ~pages:1 ~page_size:64 in
+  let pt = Page_table.create ~pages:1 ~page_size:64 () in
   let log = ref [] in
   Page_table.set_read_fault pt (fun i ->
       log := `Read :: !log;
@@ -209,7 +209,7 @@ let test_page_table_write_to_invalid_takes_both_faults () =
     (List.rev !log = [ `Read; `Write ])
 
 let test_page_table_broken_handler_detected () =
-  let pt = Page_table.create ~pages:1 ~page_size:64 in
+  let pt = Page_table.create ~pages:1 ~page_size:64 () in
   Page_table.set_read_fault pt (fun _ -> ());
   Page.invalidate (Page_table.page pt 0);
   match Page_table.ensure_readable pt 0 with
@@ -222,7 +222,7 @@ let test_page_table_broken_handler_detected () =
 let make_shm () =
   let region = small_region () in
   let noncoherent = Bytes.make (Region.noncoherent_bytes region) '\000' in
-  let shm = Shm.create ~region ~noncoherent in
+  let shm = Shm.create ~region ~noncoherent () in
   (* Identity fault handlers good enough for access tests. *)
   let pt = Shm.page_table shm in
   Page_table.set_read_fault pt (fun i -> Page.validate (Page_table.page pt i));
@@ -244,8 +244,8 @@ let test_shm_coherent_rw () =
 let test_shm_noncoherent_shared_between_views () =
   let region = small_region () in
   let noncoherent = Bytes.make (Region.noncoherent_bytes region) '\000' in
-  let a = Shm.create ~region ~noncoherent in
-  let b = Shm.create ~region ~noncoherent in
+  let a = Shm.create ~region ~noncoherent () in
+  let b = Shm.create ~region ~noncoherent () in
   let addr = Region.noncoherent_base region + 8 in
   Shm.write_i64 a addr 77;
   Alcotest.(check int) "visible in the other view" 77 (Shm.read_i64 b addr)
