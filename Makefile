@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check clean
+.PHONY: all build test fmt check audit clean
 
 all: build
 
@@ -14,6 +14,17 @@ fmt:
 	dune build @fmt
 
 check: build fmt test
+
+# Run every app under the online consistency auditor; fails on any
+# violation (same matrix as the CI consistency-audit job, plus grid).
+audit: build
+	@for app in tsp qsort water grid; do \
+	  for variant in lock hybrid; do \
+	    echo "=== $$app/$$variant n=4 --audit ==="; \
+	    dune exec bin/carlos_run.exe -- \
+	      $$app --nodes 4 --variant $$variant --audit || exit 1; \
+	  done; \
+	done
 
 clean:
 	dune clean

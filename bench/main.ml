@@ -401,6 +401,58 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable snapshot (BENCH_PR2.json): per-app wall clock and
+   message totals for the standard 4-node lock/hybrid matrix, plus the
+   host seconds each simulation took.  Format documented in
+   EXPERIMENTS.md. *)
+
+let bench_json () =
+  let nodes = 4 in
+  let runs = ref [] in
+  let measure ~app ~variant f =
+    let host0 = Sys.time () in
+    let report, ok = f () in
+    let host = Sys.time () -. host0 in
+    runs :=
+      Printf.sprintf
+        {|    { "app": %S, "variant": %S, "nodes": %d, "wall_s": %.6f, "messages": %d, "bytes": %d, "ok": %b, "host_s": %.3f }|}
+        app variant nodes report.System.wall report.System.messages
+        report.System.message_bytes ok host
+      :: !runs
+  in
+  let reference = Tsp.solve_reference Tsp.default_params in
+  List.iter
+    (fun (name, variant) ->
+      measure ~app:"tsp" ~variant:name (fun () ->
+          let r = run_tsp variant nodes in
+          (r.Tsp.report, r.Tsp.best = reference)))
+    [ ("lock", Tsp.Lock); ("hybrid", Tsp.Hybrid) ];
+  List.iter
+    (fun (name, variant) ->
+      measure ~app:"qsort" ~variant:name (fun () ->
+          let r = run_qsort variant nodes in
+          (r.Qsort.report, r.Qsort.sorted)))
+    [ ("lock", Qsort.Lock); ("hybrid", Qsort.Hybrid1) ];
+  List.iter
+    (fun (name, variant) ->
+      measure ~app:"water" ~variant:name (fun () ->
+          let r = run_water variant nodes in
+          (r.Water.report, r.Water.energy_ok)))
+    [ ("lock", Water.Lock); ("hybrid", Water.Hybrid) ];
+  List.iter
+    (fun (name, variant) ->
+      measure ~app:"grid" ~variant:name (fun () ->
+          let sys = System.create (Grid.config ~nodes Grid.default_params) in
+          let r = Grid.run sys variant Grid.default_params in
+          (r.Grid.report, r.Grid.exact)))
+    [ ("lock", Grid.Barrier); ("hybrid", Grid.Hybrid) ];
+  let oc = open_out "BENCH_PR2.json" in
+  Printf.fprintf oc "{\n  \"nodes\": %d,\n  \"runs\": [\n%s\n  ]\n}\n" nodes
+    (String.concat ",\n" (List.rev !runs));
+  close_out oc;
+  Format.fprintf ppf "wrote BENCH_PR2.json (%d runs)@." (List.length !runs)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let all =
@@ -418,6 +470,7 @@ let () =
       ("atm", atm);
       ("grid", grid);
       ("micro", micro);
+      ("json", bench_json);
     ]
   in
   let args = List.tl (Array.to_list Sys.argv) in

@@ -10,9 +10,12 @@
 module System = Carlos.System
 module Cost = Carlos_dsm.Cost
 module Obs = Carlos_obs.Obs
+module Audit = Carlos_audit.Audit
+module Causal = Carlos_audit.Causal
 module Tsp = Carlos_apps.Tsp
 module Qsort = Carlos_apps.Qsort
 module Water = Carlos_apps.Water
+module Grid = Carlos_apps.Grid
 module Harness = Carlos_apps.Harness
 
 open Cmdliner
@@ -26,6 +29,8 @@ type opts = {
   trace_file : string option;
   metrics : bool;
   metrics_json : string option;
+  audit : bool;
+  causal : bool;
 }
 
 let nodes_arg =
@@ -75,14 +80,32 @@ let metrics_json_arg =
     & opt (some string) None
     & info [ "metrics-json" ] ~docv:"FILE" ~doc)
 
+let audit_arg =
+  let doc =
+    "Run the online consistency auditor alongside the application (vector \
+     clocks monotone, RELEASE acquire-dominance, piggyback tailoring, \
+     write-notice completeness, causal page order, relay purity).  Any \
+     violation is printed and the exit status is non-zero."
+  in
+  Arg.(value & flag & info [ "audit" ] ~doc)
+
+let causal_arg =
+  let doc =
+    "Print the offline causal analysis after the run: critical path \
+     through the message DAG, per-lock contention and handoff chains, \
+     barrier skew.  Implies event tracing."
+  in
+  Arg.(value & flag & info [ "causal-report" ] ~doc)
+
 let opts_term =
-  let mk nodes variant costs seed breakdown trace_file metrics metrics_json =
+  let mk nodes variant costs seed breakdown trace_file metrics metrics_json
+      audit causal =
     { nodes; variant; costs; seed; breakdown; trace_file; metrics;
-      metrics_json }
+      metrics_json; audit; causal }
   in
   Term.(
     const mk $ nodes_arg $ variant_arg $ costs_arg $ seed_arg $ breakdown_arg
-    $ trace_arg $ metrics_arg $ metrics_json_arg)
+    $ trace_arg $ metrics_arg $ metrics_json_arg $ audit_arg $ causal_arg)
 
 let costs_of_string = function
   | "default" -> Ok Cost.default
@@ -121,12 +144,25 @@ let finish ~opts ~sys ~label ~ok report =
       Format.printf "metrics:@.";
       Obs.pp_metrics Format.std_formatter (Lazy.force snap)
     end;
-    if ok then `Ok () else `Error (false, "application-level check failed")
+    if opts.causal then begin
+      Format.printf "causal report:@.";
+      Causal.pp Format.std_formatter (Causal.analyse obs)
+    end;
+    let audit_ok =
+      match System.auditor sys with
+      | None -> true
+      | Some a ->
+        Audit.pp_report Format.std_formatter a;
+        Audit.violation_count a = 0
+    in
+    if not ok then `Error (false, "application-level check failed")
+    else if not audit_ok then `Error (false, "consistency audit failed")
+    else `Ok ()
   with Sys_error msg -> `Error (false, "cannot write export: " ^ msg)
 
 let make_system ~opts cfg =
-  let sys = System.create cfg in
-  if opts.trace_file <> None then System.set_tracing sys true;
+  let sys = System.create ~audit:opts.audit cfg in
+  if opts.trace_file <> None || opts.causal then System.set_tracing sys true;
   sys
 
 let run_tsp opts =
@@ -206,11 +242,36 @@ let run_water opts =
       ~label:("Water/" ^ Water.variant_name variant)
       ~ok:r.Water.energy_ok r.Water.report
 
+let run_grid opts =
+  match
+    ( costs_of_string opts.costs,
+      match opts.variant with
+      (* "lock" accepted as an alias so the same variant matrix works for
+         every app; Grid's conservative mode is the plain barrier. *)
+      | "barrier" | "lock" -> Ok Grid.Barrier
+      | "hybrid" | "hybrid-1" -> Ok Grid.Hybrid
+      | v -> Error (Printf.sprintf "Grid has no variant %S" v) )
+  with
+  | Error e, _ | _, Error e -> `Error (false, e)
+  | Ok costs, Ok variant ->
+    let p = Grid.default_params in
+    let cfg =
+      { (Grid.config ~nodes:opts.nodes p) with System.costs; seed = opts.seed }
+    in
+    let sys = make_system ~opts cfg in
+    let r = Grid.run sys variant p in
+    Format.printf "Grid: %dx%d, %d iterations, checksum %.6f (exact=%b)@."
+      p.Grid.size p.Grid.size p.Grid.iterations r.Grid.checksum r.Grid.exact;
+    finish ~opts ~sys
+      ~label:("Grid/" ^ Grid.variant_name variant)
+      ~ok:r.Grid.exact r.Grid.report
+
 let run_app name opts =
   match name with
   | "tsp" -> run_tsp opts
   | "qsort" -> run_qsort opts
   | "water" -> run_water opts
+  | "grid" -> run_grid opts
   | a -> `Error (false, Printf.sprintf "unknown application %S" a)
 
 let costs_cmd =
@@ -238,7 +299,7 @@ let () =
      [carlos_run --app tsp --variant hybrid --nodes 4 --trace t.json] works
      without a subcommand. *)
   let app_arg =
-    let doc = "Application to run: tsp, qsort, water." in
+    let doc = "Application to run: tsp, qsort, water, grid." in
     Arg.(value & opt (some string) None & info [ "app" ] ~docv:"APP" ~doc)
   in
   let default =
@@ -259,5 +320,7 @@ let () =
               run_qsort;
             app_cmd "water" "Run the Water application (paper §5.3)."
               run_water;
+            app_cmd "grid" "Run the Jacobi grid application (barrier apps)."
+              run_grid;
             costs_cmd;
           ]))

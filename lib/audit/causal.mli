@@ -1,0 +1,64 @@
+(** Offline analysis of a captured trace.
+
+    Consumes the event stream of an {!Carlos_obs.Obs} registry recorded by
+    an instrumented run ([Node] emits ["send"]/["deliver"]/["accept"]
+    events carrying the message trace id; the synchronization protocols
+    emit ["lock.handoff"]/["lock.acquired"], ["barrier.arrive"]/
+    ["barrier.fall"] and ["wq.enqueue"]/["wq.dequeue"]) and derives:
+
+    - the {b critical path}: a backward walk through the causal DAG from
+      the last event of the run — at each step, the latest delivery on
+      the current node is matched to its send (same trace id) and the
+      walk jumps to the sender — splitting the end-to-end span into
+      per-node local compute and wire transit, with hop counts per
+      annotation;
+    - a {b per-lock} breakdown: acquisitions, wait-time statistics and
+      the handoff chain (how often each manager/tail edge granted);
+    - {b barrier skew}: per episode, the spread between the first and
+      last arrival, aggregated per barrier. *)
+
+module Obs = Carlos_obs.Obs
+
+type hop = {
+  hop_id : int;  (** message trace id *)
+  hop_annot : string;
+  hop_src : int;
+  hop_dst : int;
+  hop_send_ts : float;
+  hop_deliver_ts : float;
+}
+
+type critical_path = {
+  cp_start : float;
+  cp_end : float;
+  cp_hops : hop list;  (** in causal (forward) order *)
+  cp_local : (int * float) list;  (** per node, compute time on the path *)
+  cp_wire : float;  (** total transit time on the path *)
+  cp_annot_hops : (string * int) list;  (** hop count per annotation *)
+}
+
+type lock_report = {
+  lk_name : string;
+  lk_acquisitions : int;
+  lk_wait_total : float;
+  lk_wait_max : float;
+  lk_handoffs : ((int * int) * int) list;
+      (** ((granter, grantee), count), most frequent first *)
+}
+
+type barrier_report = {
+  br_name : string;
+  br_episodes : int;
+  br_skew_mean : float;
+  br_skew_max : float;  (** spread between first and last arrival *)
+}
+
+type t = {
+  path : critical_path option;  (** [None] when the trace has no deliveries *)
+  locks : lock_report list;  (** sorted by name *)
+  barriers : barrier_report list;  (** sorted by name *)
+}
+
+val analyse : Obs.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,4 +1,5 @@
 module Ivar = Carlos_sim.Resource.Ivar
+module Obs = Carlos_obs.Obs
 
 type arrival = {
   client : int;
@@ -13,13 +14,29 @@ type t = {
   nodes : int;
   mutable arrivals : arrival list;
   mutable episodes : int;
+  mutable first_arrival_at : float;
+  obs : Obs.t;
+  skew_h : Obs.Hist.t; (* first-to-last arrival spread per episode *)
 }
 
 let create system ~manager ~name ?(transitive = false) () =
   let nodes = System.node_count system in
   if manager < 0 || manager >= nodes then
     invalid_arg "Msg_barrier.create: manager";
-  { manager; name; transitive; nodes; arrivals = []; episodes = 0 }
+  let obs = System.obs system in
+  {
+    manager;
+    name;
+    transitive;
+    nodes;
+    arrivals = [];
+    episodes = 0;
+    first_arrival_at = 0.0;
+    obs;
+    skew_h =
+      Obs.histogram obs ~node:Obs.global_node ~layer:Obs.Carlos
+        ("barrier.skew:" ^ name);
+  }
 
 let arrival_bytes = 8
 
@@ -30,6 +47,9 @@ let departure_bytes = 8
 let fall t manager_node =
   let arrivals = List.rev t.arrivals in
   t.arrivals <- [];
+  Obs.Hist.observe t.skew_h (Node.time manager_node -. t.first_arrival_at);
+  Obs.event t.obs ~node:t.manager ~layer:Obs.Carlos "barrier.fall"
+    ~args:[ ("name", Obs.Str t.name); ("episode", Obs.Int t.episodes) ];
   t.episodes <- t.episodes + 1;
   Node.accept_batch manager_node
     (List.filter_map (fun a -> a.stored) arrivals);
@@ -45,12 +65,15 @@ let fall t manager_node =
     arrivals
 
 let note_arrival t manager_node arrival =
+  if t.arrivals = [] then t.first_arrival_at <- Node.time manager_node;
   t.arrivals <- arrival :: t.arrivals;
   if List.length t.arrivals = t.nodes then fall t manager_node
 
 let wait t node =
   Node.flush_compute node;
   let me = Node.id node in
+  Obs.event t.obs ~node:me ~layer:Obs.Carlos "barrier.arrive"
+    ~args:[ ("name", Obs.Str t.name); ("episode", Obs.Int t.episodes) ];
   let gate = Ivar.create () in
   if me = t.manager then begin
     (* The manager's own arrival: no message, but it participates in the

@@ -1,4 +1,5 @@
 module Ivar = Carlos_sim.Resource.Ivar
+module Obs = Carlos_obs.Obs
 
 type status = Released | Acquiring | Holding
 
@@ -24,11 +25,14 @@ type t = {
   mutable wait_time : float; (* cumulative time spent blocked in acquire *)
   mutable held_time : float; (* cumulative time the lock was held *)
   mutable acquired_at : float;
+  obs : Obs.t;
+  wait_h : Obs.Hist.t; (* per-acquisition wait, [lock.wait:<name>] *)
 }
 
 let create system ~manager ~name =
   let n = System.node_count system in
   if manager < 0 || manager >= n then invalid_arg "Msg_lock.create: manager";
+  let obs = System.obs system in
   {
     manager;
     name;
@@ -40,6 +44,10 @@ let create system ~manager ~name =
     wait_time = 0.0;
     held_time = 0.0;
     acquired_at = 0.0;
+    obs;
+    wait_h =
+      Obs.histogram obs ~node:Obs.global_node ~layer:Obs.Carlos
+        ("lock.wait:" ^ name);
   }
 
 let request_bytes = 16
@@ -49,6 +57,8 @@ let grant_bytes = 8
 (* Send the RELEASE grant that hands the lock to [requester]; accepting it
    fills the gate the requester parked on. *)
 let grant t node ~requester =
+  Obs.event t.obs ~node:(Node.id node) ~layer:Obs.Carlos "lock.handoff"
+    ~args:[ ("name", Obs.Str t.name); ("to", Obs.Int requester) ];
   Node.send node ~dst:requester ~annotation:Annotation.Release
     ~payload_bytes:grant_bytes
     ~handler:(fun here d ->
@@ -105,7 +115,11 @@ let acquire t node =
               (Node.Handler_error (t.name ^ ": tail already has a successor"))
         end);
   Node.await node gate;
-  t.wait_time <- t.wait_time +. (Node.time node -. requested_at);
+  let wait = Node.time node -. requested_at in
+  t.wait_time <- t.wait_time +. wait;
+  Obs.Hist.observe t.wait_h wait;
+  Obs.event t.obs ~node:me ~layer:Obs.Carlos "lock.acquired"
+    ~args:[ ("name", Obs.Str t.name); ("wait", Obs.F wait) ];
   t.acquired_at <- Node.time node;
   st.status <- Holding
 

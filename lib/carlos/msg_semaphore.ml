@@ -1,4 +1,5 @@
 module Ivar = Carlos_sim.Resource.Ivar
+module Obs = Carlos_obs.Obs
 
 module Semaphore = struct
   type t = {
@@ -7,17 +8,24 @@ module Semaphore = struct
     mutable count : int;
     waiters : int Queue.t; (* node ids in arrival order *)
     gates : unit Ivar.t Queue.t array; (* per node, FIFO of parked P's *)
+    obs : Obs.t;
+    wait_h : Obs.Hist.t; (* per-P blocked time, [sem.wait:<name>] *)
   }
 
   let create system ~manager ~name ~initial =
     if initial < 0 then invalid_arg "Semaphore.create: negative count";
     let nodes = System.node_count system in
+    let obs = System.obs system in
     {
       manager;
       name;
       count = initial;
       waiters = Queue.create ();
       gates = Array.init nodes (fun _ -> Queue.create ());
+      obs;
+      wait_h =
+        Obs.histogram obs ~node:Obs.global_node ~layer:Obs.Carlos
+          ("sem.wait:" ^ name);
     }
 
   let grant t manager_node ~dst =
@@ -34,6 +42,7 @@ module Semaphore = struct
     let me = Node.id node in
     let gate = Ivar.create () in
     Queue.add gate t.gates.(me);
+    let requested_at = Node.time node in
     Node.send node ~dst:t.manager ~annotation:Annotation.Request
       ~payload_bytes:16
       ~handler:(fun manager_node d ->
@@ -43,7 +52,11 @@ module Semaphore = struct
           grant t manager_node ~dst:me
         end
         else Queue.add me t.waiters);
-    Node.await node gate
+    Node.await node gate;
+    let wait = Node.time node -. requested_at in
+    Obs.Hist.observe t.wait_h wait;
+    Obs.event t.obs ~node:me ~layer:Obs.Carlos "sem.acquired"
+      ~args:[ ("name", Obs.Str t.name); ("wait", Obs.F wait) ]
 
   let signal t node =
     Node.send node ~dst:t.manager ~annotation:Annotation.Release

@@ -10,6 +10,7 @@ module Diff = Carlos_vm.Diff
 module Cost = Carlos_dsm.Cost
 module Trace = Carlos_sim.Trace
 module Obs = Carlos_obs.Obs
+module Audit = Carlos_audit.Audit
 
 exception Handler_error of string
 
@@ -62,6 +63,7 @@ type t = {
   obs : Obs.t;
   mutable pending_compute : float;
   ins : instruments;
+  mutable audit : Audit.t option;
 }
 
 and wire = {
@@ -72,6 +74,8 @@ and wire = {
   handler : handler;
   piggyback : Lrc.piggyback option; (* RELEASE / RELEASE_NT *)
   sender_vc : Vc.t option; (* REQUEST *)
+  trace_id : int; (* stable causal trace id, from Obs.next_flow_id *)
+  mutable hops : int; (* transmissions so far (0 = not yet sent) *)
 }
 
 and delivery = {
@@ -113,13 +117,17 @@ let msg_stats t =
 
 let obs t = t.obs
 
-let time t = Engine.now t.engine
+let set_audit t a = t.audit <- a
 
-let trace t ~tag detail =
-  if Obs.tracing t.obs then
-    Obs.event t.obs
-      ~args:[ ("detail", Obs.Str detail) ]
-      ~node:t.id ~layer:Obs.Carlos tag
+let audit t = t.audit
+
+let audit_annotation = function
+  | Annotation.Release -> Audit.Release
+  | Annotation.Release_nt -> Audit.Release_nt
+  | Annotation.Request -> Audit.Request
+  | Annotation.None_ -> Audit.None_
+
+let time t = Engine.now t.engine
 
 (* ------------------------------------------------------------------ *)
 (* CPU accounting *)
@@ -180,22 +188,67 @@ let count_send t message size =
   | Annotation.Request -> Obs.inc t.ins.request_c
   | Annotation.None_ -> Obs.inc t.ins.none_c
 
+(* Auditor notification for the first transmission of a message.  Must run
+   before any CPU charge: charges yield the fiber, and a nested handler
+   could move the node's peer-knowledge mirror out from under the
+   tailoring check. *)
+let audit_send t ~dst message =
+  match t.audit with
+  | Some a when message.hops = 0 ->
+    let required_vc, nontransitive, intervals =
+      match message.piggyback with
+      | Some pb ->
+        ( Some pb.Lrc.required_vc,
+          pb.Lrc.nontransitive,
+          List.map
+            (fun (i : Interval.t) ->
+              (i.Interval.id.Interval.creator, i.Interval.id.Interval.index))
+            pb.Lrc.intervals )
+      | None -> (None, false, [])
+    in
+    Audit.on_send a ~trace_id:message.trace_id ~src:t.id ~dst
+      ~annotation:(audit_annotation message.annotation)
+      ~vc:(Lrc.vc t.lrc) ~required_vc ~nontransitive ~intervals
+      ~sender_vc:message.sender_vc
+  | _ -> ()
+
+(* The sender half of a causality arrow: a "send" complete slice covering
+   the transmission cost, with the flow event (start for a first
+   transmission, step for a forwarding hop) anchored inside it so
+   Perfetto draws the arrow from this slice. *)
+let trace_send t ~dst message ~duration =
+  if Obs.tracing t.obs then begin
+    let annot = Annotation.to_string message.annotation in
+    Obs.complete_at t.obs ~ts:(Engine.now t.engine) ~duration ~node:t.id
+      ~layer:Obs.Carlos "send"
+      ~args:
+        [
+          ("id", Obs.Int message.trace_id);
+          ("dst", Obs.Int dst);
+          ("annot", Obs.Str annot);
+        ];
+    (if message.hops = 0 then Obs.flow_start else Obs.flow_step)
+      t.obs ~id:message.trace_id ~node:t.id ~layer:Obs.Carlos annot
+      ~args:[ ("dst", Obs.Int dst) ]
+  end
+
 let transmit t ~dst message =
+  audit_send t ~dst message;
   if dst = t.id then begin
     (* Local delivery: protocol hops that land on the sending node (a
        manager forwarding to itself, a manager dequeuing from its own
        queue) never touch the wire; they cost one dispatch and are not
        counted as network messages. *)
+    trace_send t ~dst message ~duration:t.costs.Cost.handler_dispatch;
+    message.hops <- message.hops + 1;
     charge t Breakdown.Carlos t.costs.Cost.handler_dispatch;
     Mailbox.send t.rx { message; src = t.id; target = t; disposition = Undecided }
   end
   else begin
     let size = wire_size message in
     count_send t message size;
-    trace t ~tag:"send"
-      (Printf.sprintf "-> n%d %s %dB" dst
-         (Annotation.to_string message.annotation)
-         size);
+    trace_send t ~dst message ~duration:t.costs.Cost.send_syscall;
+    message.hops <- message.hops + 1;
     charge t Breakdown.Unix t.costs.Cost.send_syscall;
     t.transport_send ~dst ~wire_bytes:size message
   end
@@ -215,7 +268,7 @@ let send_internal t ~dst ~lane ~annotation ~payload_bytes ~handler =
   in
   let message =
     { origin = t.id; annotation; lane; payload_bytes; handler; piggyback;
-      sender_vc }
+      sender_vc; trace_id = Obs.next_flow_id t.obs; hops = 0 }
   in
   transmit t ~dst message
 
@@ -228,6 +281,8 @@ let send t ~dst ~annotation ~payload_bytes ~handler =
 let delivery_src d = d.src
 
 let delivery_annotation d = d.message.annotation
+
+let delivery_trace_id d = d.message.trace_id
 
 let delivery_sender_vc d =
   match d.message.sender_vc with
@@ -242,6 +297,21 @@ let check_disposable d op =
     raise (Handler_error (op ^ ": message already disposed of"))
 
 let accept_batch t deliveries =
+  let vc_before =
+    match t.audit with
+    | Some _ -> Some (Vc.copy (Lrc.vc t.lrc))
+    | None -> None
+  in
+  Obs.span t.obs ~node:t.id ~layer:Obs.Carlos "accept" @@ fun () ->
+  if Obs.tracing t.obs then
+    List.iter
+      (fun d ->
+        (* Arrow terminus: binds to this accept slice (or, for an accept
+           called directly from a handler, the enclosing deliver slice). *)
+        Obs.flow_finish t.obs ~id:d.message.trace_id ~node:t.id
+          ~layer:Obs.Carlos
+          (Annotation.to_string d.message.annotation))
+      deliveries;
   let piggybacks =
     List.filter_map
       (fun d ->
@@ -254,15 +324,40 @@ let accept_batch t deliveries =
         | Annotation.Request | Annotation.None_ -> None)
       deliveries
   in
-  if piggybacks <> [] then Lrc.accept t.lrc piggybacks
+  if piggybacks <> [] then Lrc.accept t.lrc piggybacks;
+  match (t.audit, vc_before) with
+  | Some a, Some before ->
+    Audit.on_accept a ~node:t.id ~vc_before:before
+      ~vc_after:(Vc.copy (Lrc.vc t.lrc))
+      (List.map
+         (fun d ->
+           {
+             Audit.acc_trace_id = d.message.trace_id;
+             acc_annotation = audit_annotation d.message.annotation;
+             acc_origin = d.message.origin;
+             acc_required_vc =
+               Option.map
+                 (fun pb -> pb.Lrc.required_vc)
+                 d.message.piggyback;
+           })
+         deliveries)
+  | _ -> ()
 
 let accept d = accept_batch d.target [ d ]
 
 let forward d ~dst =
   check_disposable d "forward";
-  d.disposition <- Forwarded;
   let t = d.target in
-  Obs.inc t.ins.forwarded_c;
+  (match t.audit with
+  | Some a ->
+    let vc_before = Vc.copy (Lrc.vc t.lrc) in
+    d.disposition <- Forwarded;
+    Obs.inc t.ins.forwarded_c;
+    Audit.on_forward a ~trace_id:d.message.trace_id ~node:t.id ~dst
+      ~vc_before ~vc_after:(Lrc.vc t.lrc)
+  | None ->
+    d.disposition <- Forwarded;
+    Obs.inc t.ins.forwarded_c);
   transmit t ~dst d.message
 
 let store d =
@@ -270,16 +365,36 @@ let store d =
   | Undecided -> ()
   | Stored | Accepted | Forwarded ->
     raise (Handler_error "store: message already disposed of"));
-  d.disposition <- Stored;
-  Obs.inc d.target.ins.stored_c
+  let t = d.target in
+  (match t.audit with
+  | Some a ->
+    let vc_before = Vc.copy (Lrc.vc t.lrc) in
+    d.disposition <- Stored;
+    Obs.inc t.ins.stored_c;
+    Audit.on_store a ~trace_id:d.message.trace_id ~node:t.id ~vc_before
+      ~vc_after:(Lrc.vc t.lrc)
+  | None ->
+    d.disposition <- Stored;
+    Obs.inc t.ins.stored_c)
 
 (* ------------------------------------------------------------------ *)
 (* Receiving *)
 
 let run_handler t d =
-  trace t ~tag:"deliver"
-    (Printf.sprintf "<- n%d %s" d.src
-       (Annotation.to_string d.message.annotation));
+  let annot = Annotation.to_string d.message.annotation in
+  Obs.span t.obs ~node:t.id ~layer:Obs.Carlos "deliver"
+    ~args:
+      [
+        ("id", Obs.Int d.message.trace_id);
+        ("src", Obs.Int d.src);
+        ("annot", Obs.Str annot);
+      ]
+  @@ fun () ->
+  if Obs.tracing t.obs then
+    (* Intermediate hop of the causality arrow: binds to this deliver
+       slice.  The arrow terminates at the accept (flow_finish). *)
+    Obs.flow_step t.obs ~id:d.message.trace_id ~node:t.id ~layer:Obs.Carlos
+      annot;
   charge t Breakdown.Carlos t.costs.Cost.handler_dispatch;
   (match d.message.annotation with
   | Annotation.Request -> (
@@ -393,6 +508,7 @@ let make ?obs ~id ~nodes ~engine ~shm ~costs ?strategy () =
       safe_point_hook = (fun _ -> ());
       obs;
       pending_compute = 0.0;
+      audit = None;
       ins =
         {
           sent_c = counter "msgs.sent";

@@ -83,6 +83,11 @@ val delivery_src : delivery -> int
 
 val delivery_annotation : delivery -> Annotation.t
 
+(** Stable causal trace id of the message (allocated at send, preserved
+    across forwarding hops; the id used for Perfetto flow arrows and
+    auditor reports). *)
+val delivery_trace_id : delivery -> int
+
 (** The sender's vector timestamp piggybacked on a REQUEST message.
     Raises [Handler_error] for other annotations. *)
 val delivery_sender_vc : delivery -> Carlos_dsm.Vc.t
@@ -154,6 +159,14 @@ val make :
   ?strategy:Carlos_dsm.Lrc.strategy ->
   unit ->
   t
+
+(** Install the online consistency auditor.  When set, the node reports
+    every send / accept / forward / store to it (see
+    {!Carlos_audit.Audit}); installing the matching {!Carlos_dsm.Lrc}
+    hooks is the caller's job ([System.create ~audit:true] does both). *)
+val set_audit : t -> Carlos_audit.Audit.t option -> unit
+
+val audit : t -> Carlos_audit.Audit.t option
 
 (** Install the wire-send function (the sliding-window layer). *)
 val set_transport_send :

@@ -15,6 +15,7 @@ module Interval = Carlos_dsm.Interval
 module Cost = Carlos_dsm.Cost
 module Lrc = Carlos_dsm.Lrc
 module Obs = Carlos_obs.Obs
+module Audit = Carlos_audit.Audit
 
 type config = {
   nodes : int;
@@ -91,6 +92,7 @@ type t = {
   rng : Rng.t;
   gc : gc_state;
   obs : Obs.t;
+  audit : Audit.t option;
 }
 
 exception Stalled of string
@@ -110,6 +112,8 @@ let rng t = t.rng
 let gc_runs t = Obs.value t.gc.runs_c
 
 let obs t = t.obs
+
+let auditor t = t.audit
 
 (* The legacy trace view is the registry itself ([Trace.t = Obs.t]). *)
 let trace t = t.obs
@@ -290,7 +294,7 @@ let safe_point_check t node =
 
 (* ------------------------------------------------------------------ *)
 
-let create (cfg : config) =
+let create ?(audit = false) (cfg : config) =
   if cfg.nodes <= 0 then invalid_arg "System.create: nodes";
   let engine = Engine.create () in
   (* One registry for the whole cluster, clocked by the engine: every
@@ -319,6 +323,9 @@ let create (cfg : config) =
         Node.make ~obs ~id ~nodes:cfg.nodes ~engine ~shm ~costs:cfg.costs
           ~strategy:cfg.strategy ())
   in
+  let auditor =
+    if audit then Some (Audit.create ~obs ~nodes:cfg.nodes ()) else None
+  in
   let t =
     {
       cfg;
@@ -343,6 +350,7 @@ let create (cfg : config) =
           requested = false;
         };
       obs;
+      audit = auditor;
     }
   in
   Array.iter
@@ -353,6 +361,11 @@ let create (cfg : config) =
       Sliding_window.set_handler sw ~node:id (fun ~src ~size:_ msg ->
           Node.deliver node ~src msg);
       Lrc.set_transport (Node.lrc node) (wire_transport t node);
+      (match auditor with
+      | Some a ->
+        Node.set_audit node (Some a);
+        Lrc.set_hooks (Node.lrc node) (Audit.lrc_hooks a)
+      | None -> ());
       Node.set_safe_point_hook node (fun n -> safe_point_check t n);
       Node.start_dispatcher node)
     t.nodes;

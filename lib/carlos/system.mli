@@ -64,7 +64,11 @@ type report = {
 
 type t
 
-val create : config -> t
+(** [create ?audit cfg] — with [~audit:true], an online consistency
+    auditor ({!Carlos_audit.Audit}) observes the whole cluster: every
+    node reports sends/accepts/dispositions and the LRC engines fire its
+    shadow-state hooks.  Retrieve it with {!auditor}. *)
+val create : ?audit:bool -> config -> t
 
 val config : t -> config
 
@@ -84,6 +88,10 @@ val rng : t -> Carlos_sim.Rng.t
     event trace.  Snapshot/diff it to measure a phase; export it with the
     [Obs] Chrome-trace/JSONL printers. *)
 val obs : t -> Carlos_obs.Obs.t
+
+(** The online consistency auditor, when the system was created with
+    [~audit:true]. *)
+val auditor : t -> Carlos_audit.Audit.t option
 
 (** Legacy flat view of the same registry ([Trace.t = Obs.t]): sends and
     handler dispatches as tagged events, off by default; enable with

@@ -36,3 +36,11 @@ val close : 'a t -> Node.t -> unit
 
 (** Items currently stored at the manager (diagnostic). *)
 val length : 'a t -> int
+
+(** Test-only corruption: arm a one-shot fault that makes the manager
+    {e accept} the next enqueue message instead of relaying it (it then
+    re-publishes the item itself, as in [No_forwarding] mode).  Violates
+    the manager's never-becomes-consistent property, which the online
+    auditor must report against the enqueue's trace id.  Never used in
+    production code. *)
+val chaos_accept_once : 'a t -> unit

@@ -21,6 +21,26 @@ type diff_reply = (int * Interval.id * Diff.t list) list
 
 type page_reply = { data : Bytes.t; covers : Vc.t }
 
+type hooks = {
+  on_interval_closed :
+    creator:int -> index:int -> vc:Vc.t -> pages:int list -> unit;
+  on_write_notice : node:int -> page:int -> creator:int -> index:int -> unit;
+  on_page_interval : node:int -> page:int -> creator:int -> index:int -> unit;
+  on_page_content : node:int -> page:int -> vc:Vc.t -> unit;
+  on_peer_note : node:int -> peer:int -> vc:Vc.t -> unit;
+}
+
+let no_hooks =
+  {
+    on_interval_closed = (fun ~creator:_ ~index:_ ~vc:_ ~pages:_ -> ());
+    on_write_notice = (fun ~node:_ ~page:_ ~creator:_ ~index:_ -> ());
+    on_page_interval = (fun ~node:_ ~page:_ ~creator:_ ~index:_ -> ());
+    on_page_content = (fun ~node:_ ~page:_ ~vc:_ -> ());
+    on_peer_note = (fun ~node:_ ~peer:_ ~vc:_ -> ());
+  }
+
+type fault = Skip_write_notice | Corrupt_vc_merge
+
 type transport = {
   fetch_diffs : dst:int -> diff_request -> diff_reply;
   fetch_intervals : dst:int -> have:Vc.t -> Interval.t list;
@@ -122,6 +142,9 @@ type t = {
   mutable diff_bytes_stored : int;
   obs : Obs.t;
   ins : instruments;
+  mutable hooks : hooks;
+  (* One-shot armed corruption; see {!inject_fault}. *)
+  mutable fault : fault option;
 }
 
 let transport t =
@@ -203,6 +226,7 @@ let write_fault t page =
    an interval's full vector clock names history from other creators whose
    writes to this page have NOT necessarily been applied here. *)
 let note_page_interval t page ~creator ~index =
+  t.hooks.on_page_interval ~node:t.me ~page ~creator ~index;
   match Hashtbl.find_opt t.page_vc page with
   | None ->
     let vc = Vc.zero ~nodes:t.nodes in
@@ -212,6 +236,7 @@ let note_page_interval t page ~creator ~index =
 
 (* A whole-page install genuinely carries per-creator coverage. *)
 let note_page_content t page vc =
+  t.hooks.on_page_content ~node:t.me ~page ~vc;
   match Hashtbl.find_opt t.page_vc page with
   | None -> Hashtbl.replace t.page_vc page (Vc.copy vc)
   | Some cur -> Vc.join_in_place cur vc
@@ -461,6 +486,8 @@ let create ?obs ~nodes ~me ~page_table ~costs ~charge ?(strategy = Invalidate)
       diff_bytes_stored = 0;
       obs;
       ins = make_instruments obs ~node:me;
+      hooks = no_hooks;
+      fault = None;
     }
   in
   Page_table.set_read_fault page_table (read_fault t);
@@ -468,6 +495,10 @@ let create ?obs ~nodes ~me ~page_table ~costs ~charge ?(strategy = Invalidate)
   t
 
 let set_transport t tr = t.transport <- Some tr
+
+let set_hooks t hooks = t.hooks <- hooks
+
+let inject_fault t fault = t.fault <- fault
 
 let strategy t = t.strategy
 
@@ -489,7 +520,9 @@ let stats t =
     twins_created = Obs.value t.ins.twins_created_c;
   }
 
-let note_peer_vc t ~peer vc = Vc.join_in_place t.peer_vc.(peer) vc
+let note_peer_vc t ~peer vc =
+  t.hooks.on_peer_note ~node:t.me ~peer ~vc;
+  Vc.join_in_place t.peer_vc.(peer) vc
 
 let known_peer_vc t ~peer = t.peer_vc.(peer)
 
@@ -516,6 +549,8 @@ let close_interval t =
         ~write_notices:pages
     in
     Hashtbl.replace t.log (t.me, index) interval;
+    t.hooks.on_interval_closed ~creator:t.me ~index ~vc:interval.Interval.vc
+      ~pages;
     Obs.inc t.ins.intervals_created_c;
     Obs.add t.ins.write_notices_sent_c (List.length pages);
     t.charge t.costs.Cost.interval_create;
@@ -700,13 +735,19 @@ let apply_interval t ~attached interval =
   if creator <> t.me then begin
     List.iter
       (fun page ->
+        if t.fault = Some Skip_write_notice then
+          (* Armed one-shot corruption: silently drop this write notice
+             (no invalidation, no audit hook) — the page keeps serving
+             stale bytes, which the auditor must detect. *)
+          t.fault <- None
+        else begin
         Obs.inc t.ins.write_notices_applied_c;
         t.charge t.costs.Cost.write_notice_apply;
         (* A whole-page install can leave the local copy ahead of the
            vector clock; a write notice for an interval the content
            already reflects must not re-invalidate the page (fetching its
            old diff would clobber newer bytes). *)
-        if
+        (if
           index > Vc.get (page_content_vc t page ~nodes:t.nodes) creator
         then begin
           let p = Page_table.page t.page_table page in
@@ -747,6 +788,8 @@ let apply_interval t ~attached interval =
             in
             if not (List.mem interval.Interval.id cur) then
               Hashtbl.replace t.missing page (interval.Interval.id :: cur)
+        end);
+        t.hooks.on_write_notice ~node:t.me ~page ~creator ~index
         end)
       interval.Interval.write_notices;
     Vc.set t.vc creator (max (Vc.get t.vc creator) index)
@@ -827,11 +870,25 @@ let accept t piggybacks =
   done;
   List.iter (apply_interval t ~attached) (Interval.causal_sort !to_apply);
   Vc.join_in_place t.vc target;
+  (if t.fault = Some Corrupt_vc_merge then begin
+     (* Armed one-shot corruption: lose one non-local component of the
+        just-joined clock — the canonical "botched merge" the auditor's
+        monotonicity / acquire-dominance checks must catch. *)
+     t.fault <- None;
+     let victim = ref (-1) in
+     for c = 0 to t.nodes - 1 do
+       if
+         c <> t.me
+         && (!victim < 0 || Vc.get t.vc c > Vc.get t.vc !victim)
+       then victim := c
+     done;
+     if !victim >= 0 && Vc.get t.vc !victim > 0 then
+       Vc.set t.vc !victim (Vc.get t.vc !victim - 1)
+   end);
   (* 5. Remember what the origins know. *)
   List.iter
     (fun pb ->
-      if pb.origin <> t.me then
-        Vc.join_in_place t.peer_vc.(pb.origin) pb.required_vc)
+      if pb.origin <> t.me then note_peer_vc t ~peer:pb.origin pb.required_vc)
     piggybacks
 
 (* ------------------------------------------------------------------ *)
@@ -896,7 +953,7 @@ let discard_before t snapshot =
      reached [snapshot]; record that knowledge so future piggybacks are
      never asked to cover discarded history. *)
   for peer = 0 to t.nodes - 1 do
-    Vc.join_in_place t.peer_vc.(peer) snapshot
+    note_peer_vc t ~peer snapshot
   done;
   let keep_interval (i : Interval.t) =
     not (Vc.dominates snapshot i.Interval.vc)

@@ -96,6 +96,45 @@ val strategy : t -> strategy
 
 val set_transport : t -> transport -> unit
 
+(** {1 Audit hooks}
+
+    Synchronous callbacks into an external observer (lib/audit's online
+    consistency auditor), fired at the protocol's state transitions.  All
+    default to no-ops; installing hooks must not change protocol
+    behaviour.  [node] is always the node the transition happened on. *)
+
+type hooks = {
+  on_interval_closed :
+    creator:int -> index:int -> vc:Vc.t -> pages:int list -> unit;
+      (** a new interval was closed at its creator (before any charge) *)
+  on_write_notice : node:int -> page:int -> creator:int -> index:int -> unit;
+      (** one write notice of interval [(creator, index)] was processed at
+          [node] during an accept *)
+  on_page_interval : node:int -> page:int -> creator:int -> index:int -> unit;
+      (** [node]'s copy of [page] now reflects interval [(creator, index)] *)
+  on_page_content : node:int -> page:int -> vc:Vc.t -> unit;
+      (** [node] installed a whole-page copy of [page] covering [vc] *)
+  on_peer_note : node:int -> peer:int -> vc:Vc.t -> unit;
+      (** [node] learned that [peer] has reached at least [vc] *)
+}
+
+val no_hooks : hooks
+
+val set_hooks : t -> hooks -> unit
+
+(** {1 Fault injection (negative tests only)}
+
+    [inject_fault t (Some f)] arms a one-shot protocol corruption,
+    consumed at the next triggering point: [Skip_write_notice] silently
+    drops the processing of one write notice during the next accept;
+    [Corrupt_vc_merge] decrements one non-local component of the vector
+    clock after the next accept's join.  Used to prove the auditor
+    catches real violations; never armed in production code. *)
+
+type fault = Skip_write_notice | Corrupt_vc_merge
+
+val inject_fault : t -> fault option -> unit
+
 val me : t -> int
 
 (** The node's current vector timestamp (live value; do not mutate). *)

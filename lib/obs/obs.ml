@@ -113,6 +113,40 @@ module Hist = struct
     }
 
   let mean s = if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
+
+  (* Lower/upper bound of bucket [b], clamped to the observed extrema so
+     degenerate histograms (all values equal, or a single occupied bucket
+     whose edges overshoot) interpolate to exact answers. *)
+  let bucket_lo s b = if b = 0 then s.min else Float.max (Float.ldexp 1.0 (b - 41)) s.min
+
+  let bucket_hi s b = Float.min (Float.ldexp 1.0 (b - 40)) s.max
+
+  let percentile s p =
+    if s.count = 0 then 0.0
+    else if p <= 0.0 then s.min
+    else if p >= 100.0 then s.max
+    else begin
+      let rank = p /. 100.0 *. float_of_int s.count in
+      let result = ref s.max in
+      (try
+         let cum = ref 0 in
+         for b = 0 to bucket_count - 1 do
+           let n = s.buckets.(b) in
+           if n > 0 then begin
+             let cum' = !cum + n in
+             if float_of_int cum' >= rank then begin
+               let lo = bucket_lo s b and hi = bucket_hi s b in
+               let lo = Float.min lo hi in
+               let frac = (rank -. float_of_int !cum) /. float_of_int n in
+               result := lo +. ((hi -. lo) *. frac);
+               raise Exit
+             end;
+             cum := cum'
+           end
+         done
+       with Exit -> ());
+      !result
+    end
 end
 
 (* ------------------------------------------------------------------ *)
@@ -132,7 +166,12 @@ type instrument =
 
 type arg = Str of string | Int of int | F of float
 
-type phase = Instant | Complete of float
+type phase =
+  | Instant
+  | Complete of float
+  | Flow_start of int
+  | Flow_step of int
+  | Flow_finish of int
 
 type event = {
   ts : float;
@@ -148,10 +187,11 @@ type t = {
   mutable clock : unit -> float;
   mutable on : bool;
   mutable events_rev : event list;
+  mutable flow_ids : int;
 }
 
 let create ?(clock = fun () -> 0.0) () =
-  { tbl = Hashtbl.create 64; clock; on = false; events_rev = [] }
+  { tbl = Hashtbl.create 64; clock; on = false; events_rev = []; flow_ids = 0 }
 
 let set_clock t clock = t.clock <- clock
 
@@ -351,7 +391,8 @@ let reset t =
         a.b_bytes <- 0
       | I_hist h -> Hist.reset h)
     t.tbl;
-  t.events_rev <- []
+  t.events_rev <- [];
+  t.flow_ids <- 0
 
 (* ------------------------------------------------------------------ *)
 (* Tracing *)
@@ -359,6 +400,10 @@ let reset t =
 let set_tracing t b = t.on <- b
 
 let tracing t = t.on
+
+let next_flow_id t =
+  t.flow_ids <- t.flow_ids + 1;
+  t.flow_ids
 
 let event ?(args = []) t ~node ~layer name =
   if t.on then
@@ -375,6 +420,16 @@ let complete_at ?(args = []) t ~ts ~duration ~node ~layer name =
     t.events_rev <-
       { ts; node; layer; name; phase = Complete duration; args }
       :: t.events_rev
+
+let flow ?(args = []) t ~phase ~node ~layer name =
+  if t.on then
+    t.events_rev <- { ts = t.clock (); node; layer; name; phase; args } :: t.events_rev
+
+let flow_start ?args t ~id = flow ?args t ~phase:(Flow_start id)
+
+let flow_step ?args t ~id = flow ?args t ~phase:(Flow_step id)
+
+let flow_finish ?args t ~id = flow ?args t ~phase:(Flow_finish id)
 
 let span ?(args = []) t ~node ~layer name f =
   if not t.on then f ()
@@ -450,7 +505,12 @@ let event_json b e =
   | Instant -> Buffer.add_string b ",\"ph\":\"i\",\"s\":\"t\""
   | Complete d ->
     Buffer.add_string b ",\"ph\":\"X\",\"dur\":";
-    json_float b (d *. 1e6));
+    json_float b (d *. 1e6)
+  | Flow_start id -> Buffer.add_string b (Printf.sprintf ",\"ph\":\"s\",\"id\":%d" id)
+  | Flow_step id -> Buffer.add_string b (Printf.sprintf ",\"ph\":\"t\",\"id\":%d" id)
+  | Flow_finish id ->
+    (* bp:"e" binds the arrow head to the enclosing slice. *)
+    Buffer.add_string b (Printf.sprintf ",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d" id));
   Buffer.add_string b ",\"ts\":";
   json_float b (e.ts *. 1e6);
   Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d" e.node
@@ -551,6 +611,9 @@ let pp_metrics ppf (snap : snapshot) =
       | Bytes_v { count; bytes } ->
         Format.fprintf ppf "%d msgs, %d bytes" count bytes
       | Hist_v h ->
-        Format.fprintf ppf "n=%d mean=%.6f" h.Hist.count (Hist.mean h));
+        Format.fprintf ppf "n=%d mean=%.6f p50=%.6f p95=%.6f" h.Hist.count
+          (Hist.mean h)
+          (Hist.percentile h 50.0)
+          (Hist.percentile h 95.0));
       Format.fprintf ppf "@.")
     snap

@@ -75,6 +75,14 @@ module Hist : sig
   val merge : snap -> snap -> snap
 
   val mean : snap -> float
+
+  (** [percentile s p] estimates the [p]-th percentile ([0. <= p <= 100.])
+      by linear interpolation inside the power-of-two bucket holding the
+      rank [p/100 * count], with the bucket's bounds clamped to the
+      observed [\[min, max\]] — so a single-valued histogram answers
+      exactly, [percentile s 0. = s.min] and [percentile s 100. = s.max].
+      Returns [0.] when [count = 0]. *)
+  val percentile : snap -> float -> float
 end
 
 (** {1 Registry} *)
@@ -177,6 +185,9 @@ type arg = Str of string | Int of int | F of float
 type phase =
   | Instant
   | Complete of float  (** duration in virtual seconds *)
+  | Flow_start of int  (** begin of causality arrow; payload is the flow id *)
+  | Flow_step of int  (** intermediate hop of an existing flow *)
+  | Flow_finish of int  (** end of causality arrow (binds to the enclosing slice) *)
 
 type event = {
   ts : float;
@@ -190,6 +201,11 @@ type event = {
 val set_tracing : t -> bool -> unit
 
 val tracing : t -> bool
+
+(** Fresh flow (trace) id, unique within the registry, monotonically
+    increasing from 1.  Allocated unconditionally (also when tracing is
+    off) so that ids are stable whether or not a trace is captured. *)
+val next_flow_id : t -> int
 
 (** Record an instant event at the clock's current time.  One branch when
     tracing is disabled. *)
@@ -205,6 +221,24 @@ val event_at :
 val complete_at :
   ?args:(string * arg) list ->
   t -> ts:float -> duration:float -> node:int -> layer:layer -> string -> unit
+
+(** Record a flow event (a causality arrow endpoint) at the clock's
+    current time.  Chrome/Perfetto bind each flow event to the smallest
+    duration slice enclosing its timestamp on the same [node × layer]
+    lane, so record these inside a {!span} or {!complete_at} slice.  All
+    events of one flow share the id (from {!next_flow_id}); give them the
+    same [name] so the arrow is labelled consistently. *)
+val flow_start :
+  ?args:(string * arg) list ->
+  t -> id:int -> node:int -> layer:layer -> string -> unit
+
+val flow_step :
+  ?args:(string * arg) list ->
+  t -> id:int -> node:int -> layer:layer -> string -> unit
+
+val flow_finish :
+  ?args:(string * arg) list ->
+  t -> id:int -> node:int -> layer:layer -> string -> unit
 
 (** [span t ~node ~layer name f] runs [f ()]; when tracing, a complete
     event covering [f]'s virtual-time extent is recorded (also when [f]

@@ -126,6 +126,34 @@ let test_hist_basics () =
   Alcotest.(check (float 1e-12)) "max" 8.0 s.Obs.Hist.max;
   Alcotest.(check (float 1e-12)) "mean" 3.75 (Obs.Hist.mean s)
 
+let test_hist_percentile () =
+  (* 1/2/4/8 each occupy their own power-of-two bucket at its lower edge,
+     so the interpolation reaches exact values at every quartile. *)
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.observe h) [ 1.0; 2.0; 4.0; 8.0 ];
+  let s = Obs.Hist.snap h in
+  let check name exp p =
+    Alcotest.(check (float 1e-12)) name exp (Obs.Hist.percentile s p)
+  in
+  check "p0 = min" 1.0 0.0;
+  check "p25" 2.0 25.0;
+  check "p50" 4.0 50.0;
+  check "p75" 8.0 75.0;
+  check "p100 = max" 8.0 100.0;
+  (* Bucket bounds clamp to [min, max]: a single-valued histogram answers
+     exactly at every percentile. *)
+  let h5 = Obs.Hist.create () in
+  for _ = 1 to 10 do
+    Obs.Hist.observe h5 5.0
+  done;
+  let s5 = Obs.Hist.snap h5 in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0)) "all-5" 5.0 (Obs.Hist.percentile s5 p))
+    [ 0.0; 10.0; 50.0; 90.0; 99.9; 100.0 ];
+  Alcotest.(check (float 0.0)) "empty" 0.0
+    (Obs.Hist.percentile Obs.Hist.empty 50.0)
+
 (* Generator of histogram snapshots with small integer-valued observations:
    the merge's float sums are then exact, so associativity is exact too. *)
 let hist_gen =
@@ -134,6 +162,22 @@ let hist_gen =
   let h = Obs.Hist.create () in
   List.iter (fun x -> Obs.Hist.observe h (float_of_int x)) xs;
   return (Obs.Hist.snap h)
+
+(* Percentiles are monotone in p and bracketed by [min, max]. *)
+let prop_hist_percentile_monotone =
+  QCheck.Test.make ~count:200 ~name:"percentile monotone and bracketed"
+    (QCheck.make
+       QCheck.Gen.(
+         pair hist_gen (list_size (int_range 2 6) (float_range 0.0 100.0))))
+    (fun (s, ps) ->
+      s.Obs.Hist.count = 0
+      ||
+      let vs = List.map (Obs.Hist.percentile s) (List.sort compare ps) in
+      List.for_all (fun v -> v >= s.Obs.Hist.min && v <= s.Obs.Hist.max) vs
+      && fst
+           (List.fold_left
+              (fun (ok, prev) v -> (ok && v >= prev, v))
+              (true, neg_infinity) vs))
 
 let hist_eq a b =
   a.Obs.Hist.count = b.Obs.Hist.count
@@ -189,12 +233,37 @@ let test_events_and_spans () =
     Alcotest.(check string) "instant name" "send" e1.Obs.name;
     (match e1.Obs.phase with
     | Obs.Instant -> ()
-    | Obs.Complete _ -> Alcotest.fail "expected instant");
+    | _ -> Alcotest.fail "expected instant");
     Alcotest.(check (float 0.0)) "span start" 1.5 e2.Obs.ts;
     (match e2.Obs.phase with
     | Obs.Complete d -> Alcotest.(check (float 1e-12)) "span duration" 1.0 d
-    | Obs.Instant -> Alcotest.fail "expected complete")
+    | _ -> Alcotest.fail "expected complete")
   | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_flow_events () =
+  let now = ref 0.0 in
+  let t = Obs.create ~clock:(fun () -> !now) () in
+  let id = Obs.next_flow_id t in
+  Alcotest.(check int) "flow ids from 1" 1 id;
+  Alcotest.(check int) "flow ids monotone" 2 (Obs.next_flow_id t);
+  (* Allocation works with tracing off, recording is a no-op. *)
+  Obs.flow_start t ~id ~node:0 ~layer:Obs.Carlos "RELEASE";
+  Alcotest.(check int) "off: nothing recorded" 0 (List.length (Obs.events t));
+  Obs.set_tracing t true;
+  now := 1.0;
+  Obs.flow_start t ~id ~node:0 ~layer:Obs.Carlos "RELEASE";
+  now := 2.0;
+  Obs.flow_step t ~id ~node:1 ~layer:Obs.Carlos "RELEASE";
+  now := 3.0;
+  Obs.flow_finish t ~id ~node:2 ~layer:Obs.Carlos "RELEASE";
+  match Obs.events t with
+  | [ s; st; f ] ->
+    (match (s.Obs.phase, st.Obs.phase, f.Obs.phase) with
+    | Obs.Flow_start a, Obs.Flow_step b, Obs.Flow_finish c ->
+      Alcotest.(check (list int)) "same id" [ id; id; id ] [ a; b; c ]
+    | _ -> Alcotest.fail "expected start/step/finish");
+    Alcotest.(check string) "shared name" "RELEASE" f.Obs.name
+  | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs)
 
 (* ------------------------------------------------------------------ *)
 (* Exporters *)
@@ -219,6 +288,12 @@ let populated () =
   Obs.Hist.observe (Obs.histogram t ~node:0 ~layer:Obs.Vm "diff.bytes") 64.0;
   Obs.acc_bytes (Obs.byte_acc t ~node:Obs.global_node ~layer:Obs.Net "d") 9;
   Obs.event t ~node:1 ~layer:Obs.Carlos "send" ~args:[ ("x", Obs.Str "\"q\"") ];
+  let id = Obs.next_flow_id t in
+  Obs.complete_at t ~ts:0.125 ~duration:0.001 ~node:1 ~layer:Obs.Carlos "send";
+  Obs.flow_start t ~id ~node:1 ~layer:Obs.Carlos "RELEASE"
+    ~args:[ ("dst", Obs.Int 2) ];
+  Obs.flow_step t ~id ~node:2 ~layer:Obs.Carlos "RELEASE";
+  Obs.flow_finish t ~id ~node:3 ~layer:Obs.Carlos "RELEASE";
   t
 
 let test_chrome_trace_shape () =
@@ -233,7 +308,27 @@ let test_chrome_trace_shape () =
   Alcotest.(check bool) "microsecond timestamps" true
     (contains ~affix:"\"ts\":125000" out);
   Alcotest.(check bool) "quotes escaped" true
-    (contains ~affix:{|\"q\"|} out)
+    (contains ~affix:{|\"q\"|} out);
+  Alcotest.(check bool) "flow start" true
+    (contains ~affix:{|"ph":"s","id":1|} out);
+  Alcotest.(check bool) "flow step" true
+    (contains ~affix:{|"ph":"t","id":1|} out);
+  Alcotest.(check bool) "flow finish binds to enclosing slice" true
+    (contains ~affix:{|"ph":"f","bp":"e","id":1|} out)
+
+let test_export_determinism () =
+  (* Two identically-driven registries (flow events included) must dump
+     byte-identical Chrome, JSONL and metrics exports. *)
+  let a = populated () and b = populated () in
+  Alcotest.(check string) "chrome trace deterministic"
+    (render Obs.pp_chrome_trace a)
+    (render Obs.pp_chrome_trace b);
+  Alcotest.(check string) "trace jsonl deterministic"
+    (render Obs.pp_trace_jsonl a)
+    (render Obs.pp_trace_jsonl b);
+  Alcotest.(check string) "metrics deterministic"
+    (render Obs.pp_metrics (Obs.snapshot a))
+    (render Obs.pp_metrics (Obs.snapshot b))
 
 let test_metrics_jsonl_shape () =
   let t = populated () in
@@ -275,17 +370,20 @@ let () =
         ] );
       ( "histograms",
         Alcotest.test_case "basics" `Quick test_hist_basics
+        :: Alcotest.test_case "percentile" `Quick test_hist_percentile
         :: qcheck
              [
                prop_hist_merge_commutative;
                prop_hist_merge_associative;
                prop_hist_merge_identity;
+               prop_hist_percentile_monotone;
              ] );
       ( "tracing",
         [
           Alcotest.test_case "off by default" `Quick
             test_tracing_off_by_default;
           Alcotest.test_case "events and spans" `Quick test_events_and_spans;
+          Alcotest.test_case "flow events" `Quick test_flow_events;
         ] );
       ( "exporters",
         [
@@ -293,5 +391,7 @@ let () =
             test_chrome_trace_shape;
           Alcotest.test_case "metrics jsonl shape" `Quick
             test_metrics_jsonl_shape;
+          Alcotest.test_case "export determinism" `Quick
+            test_export_determinism;
         ] );
     ]
