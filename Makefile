@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check audit clean
+.PHONY: all build test fmt check audit bench-smoke clean
 
 all: build
 
@@ -25,6 +25,13 @@ audit: build
 	      $$app --nodes 4 --variant $$variant --audit || exit 1; \
 	  done; \
 	done
+
+# Regenerate BENCH_PR3.json (legacy vs batched rows for the 4-node
+# matrix) and run the audited matrix with batching enabled.  Fails on
+# any app-level check or audit violation.
+bench-smoke: build
+	dune exec bench/main.exe -- json
+	$(MAKE) audit
 
 clean:
 	dune clean

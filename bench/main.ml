@@ -401,56 +401,83 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable snapshot (BENCH_PR2.json): per-app wall clock and
-   message totals for the standard 4-node lock/hybrid matrix, plus the
-   host seconds each simulation took.  Format documented in
+(* Machine-readable snapshot (BENCH_PR3.json): per-app wall clock,
+   message and wire totals for the standard 4-node lock/hybrid matrix,
+   each run twice — once with the legacy per-frame-ack unbatched
+   protocol ("legacy") and once with the batched fetch path, diff cache
+   and delayed cumulative acks ("batched").  Format documented in
    EXPERIMENTS.md. *)
 
 let bench_json () =
+  let module Obs = Carlos_obs.Obs in
   let nodes = 4 in
   let runs = ref [] in
-  let measure ~app ~variant f =
+  let failed = ref [] in
+  let measure ~app ~variant ~mode f =
     let host0 = Sys.time () in
-    let report, ok = f () in
+    let sys, report, ok = f () in
+    if not ok then failed := Printf.sprintf "%s/%s/%s" app variant mode :: !failed;
     let host = Sys.time () -. host0 in
+    let c name =
+      Obs.counter_value (System.obs sys) ~node:Obs.global_node ~layer:Obs.Net
+        name
+    in
     runs :=
       Printf.sprintf
-        {|    { "app": %S, "variant": %S, "nodes": %d, "wall_s": %.6f, "messages": %d, "bytes": %d, "ok": %b, "host_s": %.3f }|}
-        app variant nodes report.System.wall report.System.messages
-        report.System.message_bytes ok host
+        {|    { "app": %S, "variant": %S, "config": %S, "nodes": %d, "wall_s": %.6f, "messages": %d, "bytes": %d, "frames": %d, "wire_bytes": %d, "acks": %d, "acks_coalesced": %d, "diff_requests": %d, "ok": %b, "host_s": %.3f }|}
+        app variant mode nodes report.System.wall report.System.messages
+        report.System.message_bytes (c "medium.frames") (c "medium.bytes")
+        (c "sw.acks") (c "sw.acks_coalesced") report.System.diff_requests ok
+        host
       :: !runs
   in
   let reference = Tsp.solve_reference Tsp.default_params in
   List.iter
-    (fun (name, variant) ->
-      measure ~app:"tsp" ~variant:name (fun () ->
-          let r = run_tsp variant nodes in
-          (r.Tsp.report, r.Tsp.best = reference)))
-    [ ("lock", Tsp.Lock); ("hybrid", Tsp.Hybrid) ];
-  List.iter
-    (fun (name, variant) ->
-      measure ~app:"qsort" ~variant:name (fun () ->
-          let r = run_qsort variant nodes in
-          (r.Qsort.report, r.Qsort.sorted)))
-    [ ("lock", Qsort.Lock); ("hybrid", Qsort.Hybrid1) ];
-  List.iter
-    (fun (name, variant) ->
-      measure ~app:"water" ~variant:name (fun () ->
-          let r = run_water variant nodes in
-          (r.Water.report, r.Water.energy_ok)))
-    [ ("lock", Water.Lock); ("hybrid", Water.Hybrid) ];
-  List.iter
-    (fun (name, variant) ->
-      measure ~app:"grid" ~variant:name (fun () ->
-          let sys = System.create (Grid.config ~nodes Grid.default_params) in
-          let r = Grid.run sys variant Grid.default_params in
-          (r.Grid.report, r.Grid.exact)))
-    [ ("lock", Grid.Barrier); ("hybrid", Grid.Hybrid) ];
-  let oc = open_out "BENCH_PR2.json" in
+    (fun (mode, tweak) ->
+      List.iter
+        (fun (name, variant) ->
+          measure ~app:"tsp" ~variant:name ~mode (fun () ->
+              let sys = System.create (tweak (System.default_config ~nodes)) in
+              let r = Tsp.run sys variant Tsp.default_params in
+              (sys, r.Tsp.report, r.Tsp.best = reference)))
+        [ ("lock", Tsp.Lock); ("hybrid", Tsp.Hybrid) ];
+      List.iter
+        (fun (name, variant) ->
+          measure ~app:"qsort" ~variant:name ~mode (fun () ->
+              let sys =
+                System.create (tweak (Qsort.config ~nodes Qsort.default_params))
+              in
+              let r = Qsort.run sys variant Qsort.default_params in
+              (sys, r.Qsort.report, r.Qsort.sorted)))
+        [ ("lock", Qsort.Lock); ("hybrid", Qsort.Hybrid1) ];
+      List.iter
+        (fun (name, variant) ->
+          measure ~app:"water" ~variant:name ~mode (fun () ->
+              let sys = System.create (tweak (System.default_config ~nodes)) in
+              let r = Water.run sys variant Water.default_params in
+              (sys, r.Water.report, r.Water.energy_ok)))
+        [ ("lock", Water.Lock); ("hybrid", Water.Hybrid) ];
+      List.iter
+        (fun (name, variant) ->
+          measure ~app:"grid" ~variant:name ~mode (fun () ->
+              let sys =
+                System.create (tweak (Grid.config ~nodes Grid.default_params))
+              in
+              let r = Grid.run sys variant Grid.default_params in
+              (sys, r.Grid.report, r.Grid.exact)))
+        [ ("lock", Grid.Barrier); ("hybrid", Grid.Hybrid) ])
+    [ ("legacy", System.legacy_config); ("batched", fun cfg -> cfg) ];
+  let oc = open_out "BENCH_PR3.json" in
   Printf.fprintf oc "{\n  \"nodes\": %d,\n  \"runs\": [\n%s\n  ]\n}\n" nodes
     (String.concat ",\n" (List.rev !runs));
   close_out oc;
-  Format.fprintf ppf "wrote BENCH_PR2.json (%d runs)@." (List.length !runs)
+  Format.fprintf ppf "wrote BENCH_PR3.json (%d runs)@." (List.length !runs);
+  if !failed <> [] then begin
+    Format.fprintf ppf "FAILED app-level checks: %s@."
+      (String.concat ", " (List.rev !failed));
+    Format.pp_print_flush ppf ();
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 

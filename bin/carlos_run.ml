@@ -31,6 +31,7 @@ type opts = {
   metrics_json : string option;
   audit : bool;
   causal : bool;
+  no_batch : bool;
 }
 
 let nodes_arg =
@@ -97,15 +98,24 @@ let causal_arg =
   in
   Arg.(value & flag & info [ "causal-report" ] ~doc)
 
+let no_batch_arg =
+  let doc =
+    "Run the legacy unbatched protocol: one diff request per missing \
+     interval, no creator-side diff cache, one ack per frame.  Useful for \
+     before/after comparisons against the batched fetch path."
+  in
+  Arg.(value & flag & info [ "no-batch" ] ~doc)
+
 let opts_term =
   let mk nodes variant costs seed breakdown trace_file metrics metrics_json
-      audit causal =
+      audit causal no_batch =
     { nodes; variant; costs; seed; breakdown; trace_file; metrics;
-      metrics_json; audit; causal }
+      metrics_json; audit; causal; no_batch }
   in
   Term.(
     const mk $ nodes_arg $ variant_arg $ costs_arg $ seed_arg $ breakdown_arg
-    $ trace_arg $ metrics_arg $ metrics_json_arg $ audit_arg $ causal_arg)
+    $ trace_arg $ metrics_arg $ metrics_json_arg $ audit_arg $ causal_arg
+    $ no_batch_arg)
 
 let costs_of_string = function
   | "default" -> Ok Cost.default
@@ -161,6 +171,7 @@ let finish ~opts ~sys ~label ~ok report =
   with Sys_error msg -> `Error (false, "cannot write export: " ^ msg)
 
 let make_system ~opts cfg =
+  let cfg = if opts.no_batch then System.legacy_config cfg else cfg in
   let sys = System.create ~audit:opts.audit cfg in
   if opts.trace_file <> None || opts.causal then System.set_tracing sys true;
   sys

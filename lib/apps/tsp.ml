@@ -97,7 +97,13 @@ let make_instance p =
       total := !total + dist.(!current).(j);
       visited.(j) <- true;
       current := j
-    | None -> assert false
+    | None ->
+      raise
+        (Node.Handler_error
+           (Printf.sprintf
+              "Tsp.make_instance: nearest-neighbour tour found no unvisited \
+               city among %d"
+              p.cities))
   done;
   total := !total + dist.(!current).(0);
   (* Improve the initial tour with 2-opt so the search effort is dominated

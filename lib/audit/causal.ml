@@ -68,9 +68,14 @@ let critical_path events =
   let last_ev = ref None in
   List.iter
     (fun (e : Obs.event) ->
-      (match !last_ev with
-      | Some (l : Obs.event) when l.ts >= e.ts -> ()
-      | _ -> last_ev := Some e);
+      (* Seed the backward walk from the last event attributed to a real
+         node: global-node bookkeeping (a timer-driven delayed-ack flush,
+         say) can outlast the application's final message and has no
+         delivery chain behind it. *)
+      (if e.Obs.node >= 0 then
+         match !last_ev with
+         | Some (l : Obs.event) when l.ts >= e.ts -> ()
+         | _ -> last_ev := Some e);
       let push tbl k =
         match Hashtbl.find_opt tbl k with
         | Some r -> r := e :: !r

@@ -157,5 +157,10 @@ let with_lock t node f =
     release t node;
     v
   | exception e ->
-    release t node;
+    (* The body may already have released (or [release] itself may be what
+       raised): releasing again would turn [e] into an [Invalid_argument]
+       about not holding the lock.  Release only when still holding, and
+       always re-raise the original exception. *)
+    (if t.per_node.(Node.id node).status = Holding then
+       try release t node with _ -> ());
     raise e

@@ -471,7 +471,8 @@ let rpc t ~dst ~request_bytes ~service ~reply_bytes =
 (* ------------------------------------------------------------------ *)
 (* Construction *)
 
-let make ?obs ~id ~nodes ~engine ~shm ~costs ?strategy () =
+let make ?obs ~id ~nodes ~engine ~shm ~costs ?strategy ?batch_fetch
+    ?diff_cache () =
   let obs =
     match obs with
     | Some o -> o
@@ -487,7 +488,7 @@ let make ?obs ~id ~nodes ~engine ~shm ~costs ?strategy () =
   let lrc =
     Lrc.create ~obs ~nodes ~me:id ~page_table:(Shm.page_table shm) ~costs
       ~charge:(fun dt -> !charge_consistency dt)
-      ?strategy ()
+      ?strategy ?batch_fetch ?diff_cache ()
   in
   let counter name = Obs.counter obs ~node:id ~layer:Obs.Carlos name in
   let t =

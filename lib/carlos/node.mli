@@ -157,6 +157,8 @@ val make :
   shm:Carlos_vm.Shm.t ->
   costs:Carlos_dsm.Cost.t ->
   ?strategy:Carlos_dsm.Lrc.strategy ->
+  ?batch_fetch:bool ->
+  ?diff_cache:bool ->
   unit ->
   t
 

@@ -28,10 +28,14 @@ type config = {
   window : int;
   rto : float;
   loss : float;
+  ack_every : int;
+  ack_delay : float;
   costs : Cost.t;
   strategy : Lrc.strategy;
   seed : int;
   gc_threshold : int option;
+  batch_fetch : bool;
+  diff_cache : bool;
 }
 
 let default_config ~nodes =
@@ -46,10 +50,26 @@ let default_config ~nodes =
     window = 8;
     rto = 0.1;
     loss = 0.0;
+    ack_every = 4;
+    ack_delay = 0.005;
     costs = Cost.default;
     strategy = Lrc.Invalidate;
     seed = 42;
     gc_threshold = Some (512 * 1024);
+    batch_fetch = true;
+    diff_cache = true;
+  }
+
+(* The seed protocol's behaviour: ack-per-frame, serial per-(page, creator)
+   demand fetching, no merged-diff cache.  Used as the "before" arm of
+   benchmark comparisons and by [--no-batch]. *)
+let legacy_config cfg =
+  {
+    cfg with
+    ack_every = 1;
+    ack_delay = 0.0;
+    batch_fetch = false;
+    diff_cache = false;
   }
 
 type node_report = {
@@ -161,11 +181,20 @@ let diff_request_bytes req =
       0 req
 
 let diff_reply_bytes reply =
+  (* A physical diff aliased under several reply entries crosses the wire
+     once; each later entry carries only a small back-reference. *)
+  let billed = ref [] in
+  let diff_bytes d =
+    if List.memq d !billed then 4
+    else begin
+      billed := d :: !billed;
+      Diff.size_bytes d
+    end
+  in
   8
   + List.fold_left
       (fun acc (_, _, ds) ->
-        acc + 8
-        + List.fold_left (fun a d -> a + Diff.size_bytes d) 0 ds)
+        acc + 8 + List.fold_left (fun a d -> a + diff_bytes d) 0 ds)
       0 reply
 
 let interval_reply_bytes intervals =
@@ -173,7 +202,8 @@ let interval_reply_bytes intervals =
 
 let page_reply_bytes cfg = function
   | None -> 8
-  | Some (_ : Lrc.page_reply) -> 8 + cfg.page_size + (2 * cfg.nodes)
+  | Some (_ : Lrc.page_reply) ->
+    8 + cfg.page_size + (Vc.entry_bytes * cfg.nodes)
 
 let wire_transport t node =
   let me = Node.id node in
@@ -186,7 +216,7 @@ let wire_transport t node =
     fetch_intervals =
       (fun ~dst ~have ->
         Node.rpc node ~dst
-          ~request_bytes:(8 + (2 * t.cfg.nodes))
+          ~request_bytes:(8 + (Vc.entry_bytes * t.cfg.nodes))
           ~service:(fun remote ->
             let lrc = Node.lrc remote in
             Lrc.note_peer_vc lrc ~peer:me have;
@@ -310,7 +340,10 @@ let create ?(audit = false) (cfg : config) =
       Datagram.create medium ~loss:cfg.loss ~rng:(Rng.split rng) ()
     else Datagram.create medium ()
   in
-  let sw = Sliding_window.create engine datagram ~window:cfg.window ~rto:cfg.rto in
+  let sw =
+    Sliding_window.create ~ack_every:cfg.ack_every ~ack_delay:cfg.ack_delay
+      engine datagram ~window:cfg.window ~rto:cfg.rto
+  in
   let region =
     Region.create ~page_size:cfg.page_size ~private_bytes:cfg.private_bytes
       ~noncoherent_bytes:cfg.noncoherent_bytes ~coherent_pages:cfg.coherent_pages
@@ -321,7 +354,8 @@ let create ?(audit = false) (cfg : config) =
     Array.init cfg.nodes (fun id ->
         let shm = Shm.create ~obs ~node:id ~region ~noncoherent () in
         Node.make ~obs ~id ~nodes:cfg.nodes ~engine ~shm ~costs:cfg.costs
-          ~strategy:cfg.strategy ())
+          ~strategy:cfg.strategy ~batch_fetch:cfg.batch_fetch
+          ~diff_cache:cfg.diff_cache ())
   in
   let auditor =
     if audit then Some (Audit.create ~obs ~nodes:cfg.nodes ()) else None

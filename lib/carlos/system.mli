@@ -26,6 +26,11 @@ type config = {
   window : int; (* sliding-window size *)
   rto : float; (* retransmission timeout, seconds *)
   loss : float; (* datagram loss probability *)
+  ack_every : int;
+      (* cumulative ack after this many in-order frames (1 = ack each) *)
+  ack_delay : float;
+      (* ...or after this many seconds, whichever comes first; must stay
+         below [rto] when [ack_every > 1] *)
   costs : Carlos_dsm.Cost.t;
   strategy : Carlos_dsm.Lrc.strategy;
       (* coherence strategy: invalidate (paper's measured configuration),
@@ -34,11 +39,25 @@ type config = {
   gc_threshold : int option;
       (* consistency-metadata bytes per node that trigger a global GC;
          None disables GC *)
+  batch_fetch : bool;
+      (* coalesce a fault's fetches into one diff request per creator,
+         issued in parallel, with other missing previously-accessed pages
+         riding along *)
+  diff_cache : bool;
+      (* creator-side merged-diff cache for multi-interval requests *)
 }
 
 (** Paper-like defaults: 4 KB pages, 10 Mbit/s shared Ethernet, 100 us
-    latency, no loss, default cost table, GC at 512 KB of metadata. *)
+    latency, no loss, default cost table, GC at 512 KB of metadata;
+    batched fetching, merged-diff cache and delayed acks (4 frames /
+    5 ms) on. *)
 val default_config : nodes:int -> config
+
+(** [legacy_config cfg] turns off everything batched: ack-per-frame,
+    serial per-(page, creator) demand fetching, no merged-diff cache —
+    the seed protocol's behaviour, kept as the baseline arm for benchmark
+    comparisons. *)
+val legacy_config : config -> config
 
 type node_report = {
   node : int;

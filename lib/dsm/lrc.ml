@@ -2,6 +2,7 @@ module Page = Carlos_vm.Page
 module Page_table = Carlos_vm.Page_table
 module Diff = Carlos_vm.Diff
 module Ivar = Carlos_sim.Resource.Ivar
+module Engine = Carlos_sim.Engine
 
 exception Protocol_violation of string
 
@@ -60,6 +61,8 @@ type stats = {
   page_fetches : int;
   interval_fetches : int;
   twins_created : int;
+  diff_cache_hits : int;
+  diff_cache_misses : int;
 }
 
 (* Registry handles for the protocol's accounting; see {!stats} for the
@@ -75,6 +78,9 @@ type instruments = {
   page_fetches_c : Obs.counter;
   interval_fetches_c : Obs.counter;
   twins_created_c : Obs.counter;
+  diff_cache_hits_c : Obs.counter;
+  diff_cache_misses_c : Obs.counter;
+  diffs_merged_c : Obs.counter;
   diff_size_h : Obs.Hist.t;
 }
 
@@ -92,6 +98,9 @@ let make_instruments obs ~node =
     page_fetches_c = dsm "page_fetches";
     interval_fetches_c = dsm "interval_fetches";
     twins_created_c = vm "twins";
+    diff_cache_hits_c = dsm "diff_cache_hits";
+    diff_cache_misses_c = dsm "diff_cache_misses";
+    diffs_merged_c = dsm "diffs_merged";
     diff_size_h = Obs.histogram obs ~node ~layer:Obs.Vm "diff.bytes";
   }
 
@@ -131,6 +140,23 @@ type t = {
   (* Guards against concurrent fetches of the same page by several
      fibers. *)
   inflight : (int, unit Ivar.t) Hashtbl.t;
+  (* Batched fetching: coalesce a fault's round-trips into one diff
+     request per creator (spanning pages) issued in parallel fibers. *)
+  batch_fetch : bool;
+  (* Pages with a live local demand — the history that picks which other
+     missing pages may ride along in a fault's batch.  Membership decays:
+     a write-notice invalidation removes the page, and only a fresh fault
+     re-admits it, so prefetching follows demonstrated reuse.  Without the
+     decay a page touched once ever (say, another node's grid block that
+     node 0 initialised) would be prefetched on every later fault. *)
+  accessed : (int, unit) Hashtbl.t;
+  (* Creator-side cache of merged diff encodings, keyed by
+     (page, creator, lo_index, hi_index).  The member set of a range is
+     fully determined by the key (write notices are complete, and a
+     fetcher's needed set per creator is upward-closed), so equal keys
+     always denote the same merge. *)
+  serve_cache : (int * int * int * int, Diff.t) Hashtbl.t;
+  serve_cache_enabled : bool;
   (* Conservative knowledge of each peer's vector timestamp, for tailoring
      RELEASE piggybacks (a REQUEST piggybacks its sender's vc). *)
   peer_vc : Vc.t array;
@@ -206,6 +232,7 @@ let flush_page t page =
 (* Fault handling *)
 
 let write_fault t page =
+  Hashtbl.replace t.accessed page ();
   let p = Page_table.page t.page_table page in
   (* Mutate before charging: charging yields the fiber, and a concurrent
      write-notice arrival could invalidate the page mid-fault. *)
@@ -305,64 +332,158 @@ let fetch_whole_page t page ids =
             ids
         end)
 
-(* Gather diffs for [ids]: serve from the local store where possible,
-   fetch the rest from their creators (blocking). *)
-let collect_diffs t page ids =
-  let have = Hashtbl.create 8 in
-  let missing_by_creator = Hashtbl.create 4 in
-  let creators_in_order = ref [] in
+(* The total order in which a page's diffs are applied: causal (sum of
+   vector-clock components), ties broken deterministically. *)
+let causal_order t ids =
+  List.sort
+    (fun (a : Interval.id) (b : Interval.id) ->
+      let va = (find_interval t a).Interval.vc
+      and vb = (find_interval t b).Interval.vc in
+      compare
+        (Vc.sum va, a.Interval.creator, a.Interval.index)
+        (Vc.sum vb, b.Interval.creator, b.Interval.index))
+    ids
+
+(* Group a page's causally ordered ids into maximal same-creator runs.
+   The ids of one run are adjacent in the apply order — no other interval's
+   diff applies between them — so the creator may collapse the run's diffs
+   into one merged diff: applied at the run's position it is byte-for-byte
+   equivalent to applying them one by one.  (Anything causally between two
+   ids of the page's missing set is itself in the missing set: write
+   notices travel with complete piggybacks, so the accept that revealed the
+   later id also revealed everything before it.) *)
+let adjacency_runs ordered =
+  let rec group acc = function
+    | [] -> List.rev_map List.rev acc
+    | (id : Interval.id) :: rest -> (
+      match acc with
+      | ((last : Interval.id) :: _ as run) :: others
+        when last.Interval.creator = id.Interval.creator ->
+        group ((id :: run) :: others) rest
+      | _ -> group ([ id ] :: acc) rest)
+  in
+  group [] ordered
+
+(* Fetch the diffs for [targets] (per page, the causally ordered ids whose
+   diffs are not held locally) into [have]: one diff request per creator,
+   spanning pages, with one request entry per mergeable run.  Distinct
+   creators answer independently, so their round trips are overlapped by
+   issuing each request from its own forked fiber and joining on ivars. *)
+let fetch_missing t ~into:have targets =
+  let requests = Hashtbl.create 4 in
+  let creators = ref [] in
   List.iter
-    (fun (id : Interval.id) ->
-      let key = (page, id.Interval.creator, id.Interval.index) in
-      match Hashtbl.find_opt t.diffs key with
-      | Some ds -> Hashtbl.replace have id ds
-      | None ->
-        if id.Interval.creator = t.me then
-          raise (Protocol_violation "own diff missing from store");
-        let creator = id.Interval.creator in
-        (match Hashtbl.find_opt missing_by_creator creator with
-        | None ->
-          Hashtbl.replace missing_by_creator creator [ id ];
-          creators_in_order := creator :: !creators_in_order
-        | Some cur -> Hashtbl.replace missing_by_creator creator (id :: cur)))
-    ids;
-  List.iter
-    (fun creator ->
-      let needed = List.rev (Hashtbl.find missing_by_creator creator) in
-      Obs.inc t.ins.diff_requests_c;
-      let reply = (transport t).fetch_diffs ~dst:creator [ (page, needed) ] in
+    (fun (page, ordered) ->
       List.iter
-        (fun (reply_page, id, ds) ->
-          if reply_page <> page then
-            raise (Protocol_violation "diff reply for the wrong page");
+        (fun run ->
+          match run with
+          | [] -> ()
+          | (id : Interval.id) :: _ -> (
+            let creator = id.Interval.creator in
+            match Hashtbl.find_opt requests creator with
+            | None ->
+              Hashtbl.replace requests creator [ (page, run) ];
+              creators := creator :: !creators
+            | Some cur ->
+              Hashtbl.replace requests creator ((page, run) :: cur)))
+        (adjacency_runs ordered))
+    targets;
+  let asked = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun creator entries ->
+      List.iter
+        (fun (page, run) ->
           List.iter
-            (fun d ->
-              Obs.add t.ins.diff_bytes_fetched_c (Diff.size_bytes d);
-              store_diff t ~page ~id d)
-            ds;
-          Hashtbl.replace have id ds)
-        reply)
-    (List.rev !creators_in_order);
+            (fun (id : Interval.id) ->
+              Hashtbl.replace asked (page, id) creator)
+            run)
+        entries)
+    requests;
+  let do_fetch creator =
+    let request = List.rev (Hashtbl.find requests creator) in
+    Obs.inc t.ins.diff_requests_c;
+    let reply = (transport t).fetch_diffs ~dst:creator request in
+    (* Bill each physical diff once per reply: a diff aliased under
+       several ids crosses the wire once. *)
+    let billed = ref [] in
+    List.iter
+      (fun (page, (id : Interval.id), ds) ->
+        if Hashtbl.find_opt asked (page, id) <> Some creator then
+          raise (Protocol_violation "diff reply for an unrequested id");
+        List.iter
+          (fun d ->
+            if not (List.memq d !billed) then begin
+              billed := d :: !billed;
+              Obs.add t.ins.diff_bytes_fetched_c (Diff.size_bytes d)
+            end;
+            store_diff t ~page ~id d)
+          ds;
+        Hashtbl.replace have (page, id.Interval.creator, id.Interval.index) ds)
+      reply
+  in
+  match List.rev !creators with
+  | [] -> ()
+  | [ creator ] -> do_fetch creator
+  | many when t.batch_fetch && Engine.in_fiber () ->
+    let slots =
+      List.map
+        (fun creator ->
+          let slot = Ivar.create () in
+          Engine.fork (fun () ->
+              Ivar.fill slot
+                (match do_fetch creator with
+                | () -> Ok ()
+                | exception e -> Error e));
+          slot)
+        many
+    in
+    List.iter
+      (fun slot ->
+        match Ivar.read slot with Ok () -> () | Error e -> raise e)
+      slots
+  | many ->
+    (* Serial fallback: batching disabled, or the protocol is being driven
+       directly from a unit test outside any engine fiber. *)
+    List.iter do_fetch many
+
+(* Gather diffs for each page of [targets]: serve from the local store
+   where possible, fetch the rest from their creators (blocking). *)
+let collect_diffs t targets =
+  let have = Hashtbl.create 16 in
+  let remote =
+    List.filter_map
+      (fun (page, ids) ->
+        let miss =
+          List.filter
+            (fun (id : Interval.id) ->
+              let key = (page, id.Interval.creator, id.Interval.index) in
+              match Hashtbl.find_opt t.diffs key with
+              | Some ds ->
+                Hashtbl.replace have key ds;
+                false
+              | None ->
+                if id.Interval.creator = t.me then
+                  raise (Protocol_violation "own diff missing from store");
+                true)
+            ids
+        in
+        if miss = [] then None else Some (page, causal_order t miss))
+      targets
+  in
+  fetch_missing t ~into:have remote;
   have
 
 let apply_diffs t page ids have =
-  let ordered =
-    List.sort
-      (fun (a : Interval.id) (b : Interval.id) ->
-        let va = (find_interval t a).Interval.vc
-        and vb = (find_interval t b).Interval.vc in
-        compare
-          (Vc.sum va, a.Interval.creator, a.Interval.index)
-          (Vc.sum vb, b.Interval.creator, b.Interval.index))
-      ids
-  in
+  let ordered = causal_order t ids in
   let p = Page_table.page t.page_table page in
   (* An aliased diff can be listed under several ids; apply each physical
      diff once (applying again would be harmless but wasteful). *)
   let applied = ref [] in
   List.iter
-    (fun id ->
-      match Hashtbl.find_opt have id with
+    (fun (id : Interval.id) ->
+      match
+        Hashtbl.find_opt have (page, id.Interval.creator, id.Interval.index)
+      with
       | None -> raise (Protocol_violation "no diff collected for missing id")
       | Some ds ->
         List.iter
@@ -398,32 +519,69 @@ let finish_page t page ~handled =
   end
   else Hashtbl.replace t.missing page remaining
 
-let fetch_and_apply t page ids =
-  (* Ids the page content already reflects (e.g. a write notice that
-     arrived while a whole-page install covering it was in flight) must
-     not be re-fetched: their old diffs would clobber newer bytes. *)
-  let needed =
-    let content = page_content_vc t page ~nodes:t.nodes in
-    List.filter
-      (fun (id : Interval.id) ->
-        id.Interval.index > Vc.get content id.Interval.creator)
-      ids
+let fetch_and_apply t targets =
+  let prepared =
+    List.map
+      (fun (page, ids) ->
+        (* Ids the page content already reflects (e.g. a write notice that
+           arrived while a whole-page install covering it was in flight)
+           must not be re-fetched: their old diffs would clobber newer
+           bytes. *)
+        let needed =
+          let content = page_content_vc t page ~nodes:t.nodes in
+          List.filter
+            (fun (id : Interval.id) ->
+              id.Interval.index > Vc.get content id.Interval.creator)
+            ids
+        in
+        (* Many missing intervals make a whole-page copy cheaper than diffs
+           (TreadMarks requests the page outright when it holds no copy; we
+           approximate with a count heuristic). *)
+        let remaining =
+          if List.length needed > 3 then fetch_whole_page t page needed
+          else needed
+        in
+        (page, remaining))
+      targets
   in
-  (* Many missing intervals make a whole-page copy cheaper than diffs
-     (TreadMarks requests the page outright when it holds no copy; we
-     approximate with a count heuristic). *)
-  let remaining =
-    if List.length needed > 3 then fetch_whole_page t page needed else needed
-  in
-  (match remaining with
+  let work = List.filter (fun (_, ids) -> ids <> []) prepared in
+  (match work with
   | [] -> ()
   | _ ->
-    let have = collect_diffs t page remaining in
-    apply_diffs t page remaining have);
-  finish_page t page ~handled:ids
+    let have = collect_diffs t work in
+    List.iter (fun (page, ids) -> apply_diffs t page ids have) work);
+  List.iter (fun (page, ids) -> finish_page t page ~handled:ids) targets
+
+(* Fetch-and-apply [targets] under per-page inflight gates, so concurrent
+   fibers faulting on the same page block on the ivar instead of issuing a
+   duplicate fetch. *)
+let fetch_batch t targets =
+  let gates =
+    List.map
+      (fun (page, _) ->
+        let gate = Ivar.create () in
+        Hashtbl.replace t.inflight page gate;
+        (page, gate))
+      targets
+  in
+  let finish () =
+    List.iter
+      (fun (page, gate) ->
+        Hashtbl.remove t.inflight page;
+        Ivar.fill gate ())
+      gates
+  in
+  (try fetch_and_apply t targets
+   with e ->
+     finish ();
+     raise e);
+  finish ()
 
 (* Bring one invalid page up to date.  Loops because new write notices can
-   arrive while we block on the network. *)
+   arrive while we block on the network.  With batched fetching, the other
+   missing pages this node has faulted on before ride along in the same
+   round: their diffs come back in the same per-creator requests, sparing
+   each page its own later round trips. *)
 let rec validate_page t page =
   match Hashtbl.find_opt t.inflight page with
   | Some gate ->
@@ -436,17 +594,21 @@ let rec validate_page t page =
       let p = Page_table.page t.page_table page in
       if Page.state p = Page.Invalid then Page.validate p
     | Some ids ->
-      let gate = Ivar.create () in
-      Hashtbl.replace t.inflight page gate;
-      let finish () =
-        Hashtbl.remove t.inflight page;
-        Ivar.fill gate ()
+      let extra =
+        if not t.batch_fetch then []
+        else
+          Hashtbl.fold
+            (fun other other_ids acc ->
+              if
+                other <> page && other_ids <> []
+                && Hashtbl.mem t.accessed other
+                && not (Hashtbl.mem t.inflight other)
+              then (other, other_ids) :: acc
+              else acc)
+            t.missing []
+          |> List.sort compare
       in
-      (try fetch_and_apply t page ids
-       with e ->
-         finish ();
-         raise e);
-      finish ();
+      fetch_batch t ((page, ids) :: extra);
       validate_page_if_needed t page)
 
 and validate_page_if_needed t page =
@@ -454,13 +616,14 @@ and validate_page_if_needed t page =
   if Page.state p = Page.Invalid then validate_page t page
 
 let read_fault t page =
+  Hashtbl.replace t.accessed page ();
   t.charge t.costs.Cost.fault_trap;
   validate_page t page
 
 (* ------------------------------------------------------------------ *)
 
 let create ?obs ~nodes ~me ~page_table ~costs ~charge ?(strategy = Invalidate)
-    () =
+    ?(batch_fetch = true) ?(diff_cache = true) () =
   if me < 0 || me >= nodes then invalid_arg "Lrc.create: bad node id";
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let t =
@@ -480,6 +643,10 @@ let create ?obs ~nodes ~me ~page_table ~costs ~charge ?(strategy = Invalidate)
       missing = Hashtbl.create 64;
       page_vc = Hashtbl.create 64;
       inflight = Hashtbl.create 8;
+      batch_fetch;
+      accessed = Hashtbl.create 64;
+      serve_cache = Hashtbl.create 64;
+      serve_cache_enabled = diff_cache;
       peer_vc = Array.init nodes (fun _ -> Vc.zero ~nodes);
       attach_floor = Array.init nodes (fun _ -> Vc.zero ~nodes);
       transport = None;
@@ -518,6 +685,8 @@ let stats t =
     page_fetches = Obs.value t.ins.page_fetches_c;
     interval_fetches = Obs.value t.ins.interval_fetches_c;
     twins_created = Obs.value t.ins.twins_created_c;
+    diff_cache_hits = Obs.value t.ins.diff_cache_hits_c;
+    diff_cache_misses = Obs.value t.ins.diff_cache_misses_c;
   }
 
 let note_peer_vc t ~peer vc =
@@ -543,6 +712,28 @@ let close_interval t =
        an empty open interval, not re-publish the same pages. *)
     t.dirty <- [];
     List.iter (fun page -> Hashtbl.remove t.dirty_set page) pages;
+    (* Phase 1 — encode every dirty page's diff BEFORE ticking the vector
+       clock.  Encoding charges CPU and yields the fiber, and a fetch_page
+       request serviced at interrupt level during such a yield uses t.vc to
+       claim what the served snapshot covers.  Ticking first would let it
+       claim the closing interval while the twin still excludes its writes
+       — the receiver would then skip this interval's write notice and keep
+       stale bytes forever.  With the un-ticked clock the claim is exact
+       for still-writable pages (the twin is served) and merely
+       conservative for just-encoded ones (re-applying the diff over its
+       own bytes is idempotent). *)
+    let encoded =
+      List.filter_map
+        (fun page ->
+          let p = Page_table.page t.page_table page in
+          if Page.state p = Page.Read_write then
+            Some (page, encode_now t page)
+          else None)
+        pages
+    in
+    (* Phase 2 — publish atomically: no charges (hence no yields) between
+       the tick and the page-coverage notes, so no observer can see the new
+       index without the frames and diff store reflecting it. *)
     let index = Vc.tick t.vc ~me:t.me in
     let interval =
       Interval.make ~creator:t.me ~index ~vc:(Vc.copy t.vc)
@@ -553,7 +744,6 @@ let close_interval t =
       ~pages;
     Obs.inc t.ins.intervals_created_c;
     Obs.add t.ins.write_notices_sent_c (List.length pages);
-    t.charge t.costs.Cost.interval_create;
     let id = { Interval.creator = t.me; index } in
     List.iter
       (fun page ->
@@ -563,12 +753,13 @@ let close_interval t =
           List.iter (fun d -> store_diff t ~page ~id d) ds;
           Hashtbl.remove t.orphans page
         | None -> ());
-        (* ...and the final state of the page if it is still writable. *)
-        let p = Page_table.page t.page_table page in
-        if Page.state p = Page.Read_write then
-          store_diff t ~page ~id (encode_now t page);
+        (* ...and the final state of the page if it was still writable. *)
+        (match List.assoc_opt page encoded with
+        | Some d -> store_diff t ~page ~id d
+        | None -> ());
         note_page_interval t page ~creator:t.me ~index)
-      pages
+      pages;
+    t.charge t.costs.Cost.interval_create
 
 (* Intervals the receiver (whose vc we conservatively know as [have]) is
    missing, optionally restricted to locally created ones. *)
@@ -716,11 +907,21 @@ let make_piggyback t ~receiver ~nontransitive =
   }
 
 let piggyback_size_bytes pb =
+  (* A physical diff aliased under several attachment entries crosses the
+     wire once; each later entry carries only a small back-reference. *)
+  let billed = ref [] in
+  let diff_bytes d =
+    if List.memq d !billed then 4
+    else begin
+      billed := d :: !billed;
+      Diff.size_bytes d
+    end
+  in
   Vc.size_bytes pb.required_vc + 1
   + List.fold_left (fun acc i -> acc + Interval.size_bytes i) 0 pb.intervals
   + List.fold_left
       (fun acc (_, _, ds) ->
-        acc + 8 + List.fold_left (fun a d -> a + Diff.size_bytes d) 0 ds)
+        acc + 8 + List.fold_left (fun a d -> a + diff_bytes d) 0 ds)
       0 pb.attached_diffs
 
 (* Apply one interval's write notices, preserving local modifications by
@@ -755,8 +956,15 @@ let apply_interval t ~attached interval =
           match (eager, Page.state p) with
           | Some ds, (Page.Read_only | Page.Read_write) ->
             (* Update path: the data came with the message and the local
-               copy is current, so apply in place and stay valid. *)
-            if Page.state p = Page.Read_write then flush_page t page;
+               copy is current, so apply in place and stay valid.
+               [flush_page] yields while charging the encode, and the app
+               fiber can re-fault the page back to Read_write in that
+               window; keep flushing until it quiesces so the diffs land
+               on a twinless page (the interrupted write retries,
+               hardware-style). *)
+            while Page.state p = Page.Read_write do
+              flush_page t page
+            done;
             List.iter
               (fun d ->
                 Page.apply_diff p d;
@@ -771,10 +979,18 @@ let apply_interval t ~attached interval =
           | eager, _ ->
             (* Invalidation path (also taken when the local copy already
                has gaps: an eagerly received diff cannot be applied onto
-               a stale base, so cache it for the later validation). *)
-            if Page.state p = Page.Read_write then flush_page t page;
+               a stale base, so cache it for the later validation).  Same
+               yield hazard as above: a single flush can race the app
+               fiber re-faulting the page, and invalidating a Read_write
+               page is an error. *)
+            while Page.state p = Page.Read_write do
+              flush_page t page
+            done;
             if Page.state p <> Page.Invalid then begin
               Page.invalidate p;
+              (* Decay the prefetch history: the page must fault again to
+                 prove it is still wanted before riding along in batches. *)
+              Hashtbl.remove t.accessed page;
               t.charge t.costs.Cost.page_protect
             end;
             (match eager with
@@ -894,21 +1110,73 @@ let accept t piggybacks =
 (* ------------------------------------------------------------------ *)
 (* Serving (interrupt level, non-blocking) *)
 
+let serve_cache_cap = 512
+
 let serve_diffs t request =
   t.charge t.costs.Cost.diff_request_fixed;
+  let lookup page (id : Interval.id) =
+    match
+      Hashtbl.find_opt t.diffs (page, id.Interval.creator, id.Interval.index)
+    with
+    | Some ds -> ds
+    | None ->
+      raise
+        (Protocol_violation
+           (Printf.sprintf "diff (page %d, %d.%d) not available" page
+              id.Interval.creator id.Interval.index))
+  in
   List.concat_map
     (fun (page, ids) ->
-      List.map
-        (fun (id : Interval.id) ->
-          let key = (page, id.Interval.creator, id.Interval.index) in
-          match Hashtbl.find_opt t.diffs key with
-          | Some ds -> (page, id, ds)
+      let same_creator =
+        match ids with
+        | [] | [ _ ] -> false
+        | (first : Interval.id) :: rest ->
+          List.for_all
+            (fun (id : Interval.id) ->
+              id.Interval.creator = first.Interval.creator)
+            rest
+      in
+      if not (t.serve_cache_enabled && same_creator) then
+        List.map (fun (id : Interval.id) -> (page, id, lookup page id)) ids
+      else begin
+        (* One request entry is one mergeable run: the fetcher only groups
+           ids that are adjacent in its causal apply order, so collapsing
+           their diffs into one merged diff — returned under the run's
+           first id, with the rest answered empty — is equivalent to
+           shipping them separately. *)
+        let sorted =
+          List.sort
+            (fun (a : Interval.id) (b : Interval.id) ->
+              compare a.Interval.index b.Interval.index)
+            ids
+        in
+        let first = List.hd sorted in
+        let last = List.nth sorted (List.length sorted - 1) in
+        let key =
+          (page, first.Interval.creator, first.Interval.index,
+           last.Interval.index)
+        in
+        let merged =
+          match Hashtbl.find_opt t.serve_cache key with
+          | Some d ->
+            Obs.inc t.ins.diff_cache_hits_c;
+            d
           | None ->
-            raise
-              (Protocol_violation
-                 (Printf.sprintf "diff (page %d, %d.%d) not available" page
-                    id.Interval.creator id.Interval.index)))
-        ids)
+            Obs.inc t.ins.diff_cache_misses_c;
+            let pieces = List.concat_map (lookup page) sorted in
+            let d = Diff.merge pieces in
+            Obs.add t.ins.diffs_merged_c (List.length pieces - 1);
+            t.charge
+              (t.costs.Cost.diff_data_per_byte
+              *. float_of_int (Diff.changed_bytes d));
+            if Hashtbl.length t.serve_cache >= serve_cache_cap then
+              Hashtbl.reset t.serve_cache;
+            Hashtbl.replace t.serve_cache key d;
+            d
+        in
+        (page, first, [ merged ])
+        :: List.map (fun id -> (page, id, [])) (List.tl sorted)
+      end)
     request
 
 let serve_intervals t ~have = intervals_after t ~have ~own_only:false
@@ -943,6 +1211,20 @@ let validate_all t =
     match List.sort compare pending with
     | [] -> ()
     | pages ->
+      (* One batched round over every missing page (GC forces them all, so
+         the demand-history gate does not apply), then re-check: new write
+         notices may have arrived while we were blocked. *)
+      let fresh =
+        List.filter_map
+          (fun page ->
+            if Hashtbl.mem t.inflight page then None
+            else
+              match Hashtbl.find_opt t.missing page with
+              | None | Some [] -> None
+              | Some ids -> Some (page, ids))
+          pages
+      in
+      if t.batch_fetch && fresh <> [] then fetch_batch t fresh;
       List.iter (fun page -> validate_page_if_needed t page) pages;
       loop ()
   in
@@ -979,4 +1261,7 @@ let discard_before t snapshot =
         (fun d ->
           t.diff_bytes_stored <- t.diff_bytes_stored - Diff.size_bytes d)
         ds)
-    diff_keys
+    diff_keys;
+  (* Merged encodings may cover just-discarded history; drop them all
+     rather than tracking which ranges survive. *)
+  Hashtbl.reset t.serve_cache

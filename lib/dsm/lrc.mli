@@ -56,12 +56,18 @@ type piggyback = {
 }
 
 (** A diff request: for each page, the interval ids whose modifications are
-    needed.  Requests are addressed to the interval creator. *)
+    needed.  Requests are addressed to the interval creator.  A fetcher may
+    list the same page in several entries; the ids of one entry must be
+    adjacent in the fetcher's causal apply order for that page (no other
+    missing interval of the page sorts between them), which licenses the
+    server to merge their diffs — see {!serve_diffs}. *)
 type diff_request = (int * Interval.id list) list
 
 (** Per requested id, the diff pieces to apply in list order.  One physical
     diff may be aliased under several ids when a single flush covered
-    several intervals. *)
+    several intervals, and a server may answer a multi-id request entry
+    with one merged diff under the entry's lowest id and empty lists for
+    the rest. *)
 type diff_reply = (int * Interval.id * Carlos_vm.Diff.t list) list
 
 type page_reply = { data : Bytes.t; covers : Vc.t }
@@ -80,7 +86,18 @@ type transport = {
     consistency-overhead bucket.  Protocol accounting registers in [obs]
     (a fresh private registry by default) under the [Dsm]/[Vm] layers for
     node [me]; [accept] and [make_piggyback] additionally record
-    [lrc.accept]/[lrc.release] spans when tracing is enabled. *)
+    [lrc.accept]/[lrc.release] spans when tracing is enabled.
+
+    [batch_fetch] (default true) coalesces a fault's round trips: all
+    missing intervals — of the faulting page and of any other missing page
+    this node has faulted on before — are gathered with one diff request
+    per creator, and requests to distinct creators are issued from
+    parallel fibers.  When false, each page fetches serially on demand
+    with one request per (page, creator), as the seed protocol did.
+
+    [diff_cache] (default true) enables the creator-side merged-diff
+    cache: a multi-id request entry is answered with one merged diff,
+    memoized by (page, creator, lo, hi) for repeat fetchers. *)
 val create :
   ?obs:Carlos_obs.Obs.t ->
   nodes:int ->
@@ -89,6 +106,8 @@ val create :
   costs:Cost.t ->
   charge:(float -> unit) ->
   ?strategy:strategy ->
+  ?batch_fetch:bool ->
+  ?diff_cache:bool ->
   unit ->
   t
 
@@ -170,6 +189,13 @@ val piggyback_size_bytes : piggyback -> int
 
 (** {1 Serving remote requests (non-blocking, interrupt level)} *)
 
+(** Answer a diff request from the local store.  When the merged-diff
+    cache is enabled, a request entry naming several ids of one creator
+    (a mergeable run, see {!diff_request}) is answered with a single
+    merged diff under the run's lowest id and empty lists for the rest;
+    merged encodings are memoized so repeat fetchers of the same range are
+    served without re-merging (counters [diff_cache_hits] /
+    [diff_cache_misses]). *)
 val serve_diffs : t -> diff_request -> diff_reply
 
 val serve_intervals : t -> have:Vc.t -> Interval.t list
@@ -209,6 +235,8 @@ type stats = {
   page_fetches : int;
   interval_fetches : int;
   twins_created : int;
+  diff_cache_hits : int; (* merged-diff cache: ranges served memoized *)
+  diff_cache_misses : int; (* ...and ranges merged afresh *)
 }
 
 val stats : t -> stats

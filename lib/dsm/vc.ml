@@ -34,7 +34,9 @@ let equal a b = a = b
 
 let sum t = Array.fold_left ( + ) 0 t
 
-let size_bytes t = 2 * Array.length t
+let entry_bytes = 4
+
+let size_bytes t = entry_bytes * Array.length t
 
 let pp ppf t =
   Format.fprintf ppf "<%s>"

@@ -35,7 +35,12 @@ val equal : t -> t -> bool
     used to apply causally ordered diffs in a safe total order. *)
 val sum : t -> int
 
-(** Wire size: the paper's implementation spends two bytes per node. *)
+(** Wire bytes per component.  Components are interval indices, which are
+    unbounded ints in long runs; two bytes (the paper's historical choice)
+    silently under-accounts, so the cost model spends four. *)
+val entry_bytes : int
+
+(** Wire size: [entry_bytes] per node. *)
 val size_bytes : t -> int
 
 val pp : Format.formatter -> t -> unit

@@ -19,6 +19,12 @@ type 'a connection = {
   (* Receiver side (indexed the same way from the peer's perspective). *)
   mutable expected : int;
   out_of_order : (int, int * 'a) Hashtbl.t;
+  (* Delayed-ack state: in-order frames delivered since the last
+     acknowledgement, and the epoch/armed pair that invalidates a stale
+     ack-delay timer once a cumulative ack goes out. *)
+  mutable ack_owed : int;
+  mutable ack_epoch : int;
+  mutable ack_armed : bool;
 }
 
 type 'a handler = src:int -> size:int -> 'a -> unit
@@ -28,12 +34,15 @@ type 'a t = {
   datagram : 'a frame Datagram.t;
   window : int;
   rto : float;
+  ack_every : int; (* cumulative ack after this many in-order frames *)
+  ack_delay : float; (* ...or after this long, whichever comes first *)
   connections : 'a connection array array; (* [src].[dst] *)
   handlers : 'a handler option array;
   sent_c : Obs.counter;
   delivered_c : Obs.counter;
   retransmitted_c : Obs.counter;
   acks_c : Obs.counter;
+  acks_coalesced_c : Obs.counter;
 }
 
 let make_connection () =
@@ -44,6 +53,9 @@ let make_connection () =
     timer_epoch = 0;
     expected = 0;
     out_of_order = Hashtbl.create 8;
+    ack_owed = 0;
+    ack_epoch = 0;
+    ack_armed = false;
   }
 
 let nodes t = Datagram.nodes t.datagram
@@ -59,6 +71,32 @@ let send_ack t ~src ~dst ~cumulative =
   Datagram.send t.datagram ~src ~dst ~payload_bytes:ack_bytes
     (Ack { cumulative })
 
+(* Send the cumulative ack for the src->node connection now, covering every
+   owed frame, and invalidate any pending ack-delay timer. *)
+let flush_ack t c ~node ~src =
+  if c.ack_owed > 1 then Obs.add t.acks_coalesced_c (c.ack_owed - 1);
+  c.ack_owed <- 0;
+  c.ack_epoch <- c.ack_epoch + 1;
+  c.ack_armed <- false;
+  send_ack t ~src:node ~dst:src ~cumulative:(c.expected - 1)
+
+(* Delayed cumulative acks: rather than one ack frame per data frame, ack
+   after [ack_every] in-order frames or [ack_delay] seconds, whichever
+   comes first.  Duplicates and out-of-order arrivals still ack
+   immediately — the sender is (or is about to start) retransmitting, and
+   a prompt cumulative ack is what stops the storm. *)
+let note_delivered t c ~node ~src ~frames =
+  c.ack_owed <- c.ack_owed + frames;
+  if t.ack_every <= 1 || c.ack_owed >= t.ack_every then flush_ack t c ~node ~src
+  else if not c.ack_armed then begin
+    c.ack_armed <- true;
+    let epoch = c.ack_epoch in
+    Engine.at t.engine
+      ~time:(Engine.now t.engine +. t.ack_delay)
+      (fun () ->
+        if c.ack_epoch = epoch && c.ack_owed > 0 then flush_ack t c ~node ~src)
+  end
+
 (* Arm (or re-arm) the retransmission timer for connection src->dst.
    Each consecutive firing doubles the timeout (bounded), so a large
    frame that simply needs longer than one RTO to cross the wire does not
@@ -71,12 +109,16 @@ let rec arm_timer ?(backoff = 1.0) t ~src ~dst =
     ~time:(Engine.now t.engine +. (t.rto *. backoff))
     (fun () ->
       if c.timer_epoch = epoch && not (Queue.is_empty c.unacked) then begin
-        (* Go-back-N: retransmit every unacknowledged frame. *)
-        Queue.iter
-          (fun (seq, payload_bytes, payload) ->
-            Obs.inc t.retransmitted_c;
-            transmit t ~src ~dst ~seq ~payload_bytes payload)
-          c.unacked;
+        (* The receiver buffers out-of-order frames and acks cumulatively,
+           so only the oldest unacknowledged frame can be the gap:
+           retransmit just it.  Resending the whole window would multiply
+           the damage of a timeout that was merely a congested wire (a
+           burst of large frames can take longer than one RTO to drain). *)
+        (match Queue.peek_opt c.unacked with
+        | Some (seq, payload_bytes, payload) ->
+          Obs.inc t.retransmitted_c;
+          transmit t ~src ~dst ~seq ~payload_bytes payload
+        | None -> ());
         arm_timer ~backoff:(Float.min 64.0 (2.0 *. backoff)) t ~src ~dst
       end)
 
@@ -133,6 +175,8 @@ let retransmissions t = Obs.value t.retransmitted_c
 
 let acks_sent t = Obs.value t.acks_c
 
+let acks_coalesced t = Obs.value t.acks_coalesced_c
+
 let deliver t ~node ~src ~payload_bytes payload =
   Obs.inc t.delivered_c;
   match t.handlers.(node) with
@@ -145,28 +189,32 @@ let handle_data t ~node ~src ~seq ~payload_bytes payload =
      connections.(src).(node). *)
   let c = t.connections.(src).(node) in
   if seq < c.expected then
-    (* Duplicate (a retransmission we already have): re-ack. *)
-    send_ack t ~src:node ~dst:src ~cumulative:(c.expected - 1)
+    (* Duplicate (a retransmission we already have): re-ack immediately. *)
+    flush_ack t c ~node ~src
   else if seq = c.expected then begin
     deliver t ~node ~src ~payload_bytes payload;
     c.expected <- c.expected + 1;
     (* Drain any buffered successors. *)
+    let frames = ref 1 in
     let rec drain () =
       match Hashtbl.find_opt c.out_of_order c.expected with
       | Some (bytes, p) ->
         Hashtbl.remove c.out_of_order c.expected;
         deliver t ~node ~src ~payload_bytes:bytes p;
         c.expected <- c.expected + 1;
+        incr frames;
         drain ()
       | None -> ()
     in
     drain ();
-    send_ack t ~src:node ~dst:src ~cumulative:(c.expected - 1)
+    note_delivered t c ~node ~src ~frames:!frames
   end
   else begin
     if not (Hashtbl.mem c.out_of_order seq) then
       Hashtbl.replace c.out_of_order seq (payload_bytes, payload);
-    send_ack t ~src:node ~dst:src ~cumulative:(c.expected - 1)
+    (* A gap means a frame was lost: ack immediately so go-back-N recovery
+       is not further delayed. *)
+    flush_ack t c ~node ~src
   end
 
 let on_datagram t node ~src ~size:_ frame =
@@ -177,9 +225,14 @@ let on_datagram t node ~src ~size:_ frame =
     (* We (node) are the sender of the node->src connection. *)
     handle_ack t ~src:node ~dst:src ~cumulative
 
-let create engine datagram ~window ~rto =
+let create ?(ack_every = 1) ?(ack_delay = 0.0) engine datagram ~window ~rto =
   if window <= 0 then invalid_arg "Sliding_window.create: window";
   if rto <= 0.0 then invalid_arg "Sliding_window.create: rto";
+  if ack_every <= 0 then invalid_arg "Sliding_window.create: ack_every";
+  if ack_every > 1 && ack_delay <= 0.0 then
+    invalid_arg "Sliding_window.create: ack_every > 1 needs ack_delay > 0";
+  if ack_delay >= rto then
+    invalid_arg "Sliding_window.create: ack_delay must stay below rto";
   let n = Datagram.nodes datagram in
   let obs = Datagram.obs datagram in
   let g = Obs.global_node in
@@ -189,6 +242,8 @@ let create engine datagram ~window ~rto =
       datagram;
       window;
       rto;
+      ack_every;
+      ack_delay;
       connections =
         Array.init n (fun _ -> Array.init n (fun _ -> make_connection ()));
       handlers = Array.make n None;
@@ -196,6 +251,8 @@ let create engine datagram ~window ~rto =
       delivered_c = Obs.counter obs ~node:g ~layer:Obs.Net "sw.delivered";
       retransmitted_c = Obs.counter obs ~node:g ~layer:Obs.Net "sw.retransmits";
       acks_c = Obs.counter obs ~node:g ~layer:Obs.Net "sw.acks";
+      acks_coalesced_c =
+        Obs.counter obs ~node:g ~layer:Obs.Net "sw.acks_coalesced";
     }
   in
   for node = 0 to n - 1 do

@@ -15,10 +15,21 @@ type 'a frame
 
 type 'a t
 
-(** [create engine datagram ~window ~rto] — [window] is the maximum number
-    of unacknowledged messages per connection; [rto] the retransmission
-    timeout in seconds. *)
+(** [create ?ack_every ?ack_delay engine datagram ~window ~rto] — [window]
+    is the maximum number of unacknowledged messages per connection; [rto]
+    the retransmission timeout in seconds.
+
+    Delayed cumulative acks: the receiver sends one cumulative ack per
+    [ack_every] in-order data frames, or after [ack_delay] seconds when
+    fewer are owed — whichever comes first — instead of one ack frame per
+    data frame.  Duplicates and out-of-order arrivals are always acked
+    immediately (that ack is what stops a retransmission storm).  The
+    defaults ([ack_every = 1]) keep the legacy ack-per-frame behaviour;
+    [ack_every > 1] requires [0 < ack_delay < rto] so a delayed ack can
+    never be mistaken for loss. *)
 val create :
+  ?ack_every:int ->
+  ?ack_delay:float ->
   Carlos_sim.Engine.t ->
   'a frame Datagram.t ->
   window:int ->
@@ -53,3 +64,7 @@ val messages_delivered : 'a t -> int
 val retransmissions : 'a t -> int
 
 val acks_sent : 'a t -> int
+
+(** Data frames whose acknowledgement rode a later cumulative ack instead
+    of getting their own frame (counter [sw.acks_coalesced]). *)
+val acks_coalesced : 'a t -> int

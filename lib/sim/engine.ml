@@ -4,7 +4,12 @@ type t = {
   mutable next_seq : int;
   mutable executed : int;
   mutable failure : exn option;
+  (* Failures of fibers that died after [failure] was already recorded
+     (newest first).  Surfaced by [run] as [Multiple_failures]. *)
+  mutable secondary : exn list;
 }
+
+exception Multiple_failures of exn list
 
 type _ Effect.t +=
   | Delay : (t * float) -> unit Effect.t
@@ -19,7 +24,12 @@ let current : t option ref = ref None
 
 let create () =
   { clock = 0.0; queue = Heap.create (); next_seq = 0; executed = 0;
-    failure = None }
+    failure = None; secondary = [] }
+
+let failures t =
+  match t.failure with
+  | None -> []
+  | Some e -> e :: List.rev t.secondary
 
 let now t = t.clock
 
@@ -44,7 +54,10 @@ let rec start_fiber eng f =
     {
       retc = (fun () -> ());
       exnc =
-        (fun e -> if eng.failure = None then eng.failure <- Some e);
+        (fun e ->
+          match eng.failure with
+          | None -> eng.failure <- Some e
+          | Some _ -> eng.secondary <- e :: eng.secondary);
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
@@ -81,12 +94,24 @@ let run t =
   let saved = !current in
   current := Some t;
   let finish () = current := saved in
+  (* After a failure, keep draining events already due at the current
+     virtual instant: fibers that failed simultaneously get to record
+     their exceptions instead of being silently dropped with the queue.
+     The first strictly-later timestamp (or an empty queue) stops the
+     run. *)
+  let overdue () =
+    match Heap.min_key t.queue with
+    | Some (time, _) -> time <= t.clock
+    | None -> false
+  in
   let rec loop () =
     match t.failure with
-    | Some e ->
+    | Some e when not (overdue ()) ->
       finish ();
-      raise e
-    | None -> (
+      (match t.secondary with
+      | [] -> raise e
+      | rest -> raise (Multiple_failures (e :: List.rev rest)))
+    | _ -> (
       match Heap.pop_min t.queue with
       | None -> finish ()
       | Some (time, _, thunk) ->
@@ -105,5 +130,10 @@ let delay dt =
 let time () = Effect.perform Time
 
 let fork f = Effect.perform (Fork f)
+
+let in_fiber () =
+  match Effect.perform Time with
+  | (_ : float) -> true
+  | exception Effect.Unhandled _ -> false
 
 let suspend register = Effect.perform (Suspend register)

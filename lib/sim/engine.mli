@@ -11,6 +11,11 @@
 
 type t
 
+(** Raised by {!run} when more than one fiber failed before the engine
+    noticed: the primary (first) failure heads the list, later ones follow
+    in the order they were recorded. *)
+exception Multiple_failures of exn list
+
 val create : unit -> t
 
 (** Current virtual time, in seconds. *)
@@ -26,9 +31,15 @@ val spawn : t -> (unit -> unit) -> unit
     virtual time [time].  [time] must not be in the past. *)
 val at : t -> time:float -> (unit -> unit) -> unit
 
-(** Run until the event queue drains.  If any fiber raised, the first such
-    exception is re-raised here after the queue stops. *)
+(** Run until the event queue drains.  If exactly one fiber raised, that
+    exception is re-raised here after the queue stops; if several fibers
+    raised, {!Multiple_failures} carries all of them (primary first) so no
+    failure is silently dropped. *)
 val run : t -> unit
+
+(** Every fiber failure recorded so far, primary first ([[]] if none).
+    Useful after [run] raised to inspect secondary failures. *)
+val failures : t -> exn list
 
 (** {1 Operations available inside a fiber} *)
 
@@ -40,6 +51,12 @@ val time : unit -> float
 
 (** Start a sibling fiber from inside a fiber. *)
 val fork : (unit -> unit) -> unit
+
+(** Whether the caller is running inside an engine fiber (so {!fork},
+    {!delay} and blocking reads are available).  Protocol code uses this to
+    fall back to serial execution when driven directly from a unit test
+    outside any engine. *)
+val in_fiber : unit -> bool
 
 (** [suspend register] parks the calling fiber.  [register] receives a
     [resume] thunk that, when invoked (from any other fiber or callback),

@@ -43,6 +43,50 @@ let apply t target =
   in
   List.iter apply_run t.runs
 
+let merge = function
+  | [] -> invalid_arg "Diff.merge: empty"
+  | [ d ] -> d
+  | first :: _ as ds ->
+    List.iter
+      (fun d ->
+        if d.page <> first.page then invalid_arg "Diff.merge: pages differ")
+      ds;
+    (* Replay the runs in order into a scratch copy of the touched extent:
+       later runs overwrite earlier ones, exactly as sequential [apply]
+       would, then re-extract maximal covered runs. *)
+    let extent =
+      List.fold_left
+        (fun acc d ->
+          List.fold_left
+            (fun a r -> max a (r.offset + Bytes.length r.data))
+            acc d.runs)
+        0 ds
+    in
+    let buf = Bytes.create extent in
+    let covered = Bytes.make extent '\000' in
+    List.iter
+      (fun d ->
+        List.iter
+          (fun r ->
+            Bytes.blit r.data 0 buf r.offset (Bytes.length r.data);
+            Bytes.fill covered r.offset (Bytes.length r.data) '\001')
+          d.runs)
+      ds;
+    let runs = ref [] in
+    let i = ref 0 in
+    while !i < extent do
+      if Bytes.unsafe_get covered !i = '\001' then begin
+        let start = !i in
+        while !i < extent && Bytes.unsafe_get covered !i = '\001' do
+          incr i
+        done;
+        runs := { offset = start; data = Bytes.sub buf start (!i - start) }
+                :: !runs
+      end
+      else incr i
+    done;
+    { page = first.page; runs = List.rev !runs }
+
 let changed_bytes t =
   List.fold_left (fun acc r -> acc + Bytes.length r.data) 0 t.runs
 

@@ -24,6 +24,12 @@ val is_empty : t -> bool
 (** Overwrite the changed ranges of [target] with the diff's data. *)
 val apply : t -> Bytes.t -> unit
 
+(** [merge ds] collapses several diffs of the same page into one whose
+    application is equivalent to applying [ds] in list order (later runs
+    win on overlap; adjacent runs coalesce).  Raises [Invalid_argument] on
+    an empty list or mixed pages. *)
+val merge : t list -> t
+
 (** Wire size in bytes: a small header plus, per run, a 4-byte descriptor
     and the run data. *)
 val size_bytes : t -> int

@@ -188,6 +188,38 @@ let test_lock_counter_value () =
   Alcotest.(check int) "sequentially consistent counter" (4 * iterations)
     !final
 
+exception Body_failed
+
+let test_lock_released_on_exception () =
+  (* An exception thrown inside the critical section must release the
+     lock (other nodes keep making progress) and re-raise unchanged. *)
+  let sys = make () in
+  let lock = Msg_lock.create sys ~manager:0 ~name:"exc" in
+  let counter = System.alloc sys 8 in
+  let barrier = Msg_barrier.create sys ~manager:0 ~name:"b" () in
+  let reraised = ref false in
+  let final = ref (-1) in
+  let (_ : System.report) =
+    System.run sys (fun node ->
+        (if Node.id node = 1 then
+           try
+             Msg_lock.with_lock lock node (fun () ->
+                 let v = Shm.read_i64 (Node.shm node) counter in
+                 Shm.write_i64 (Node.shm node) counter (v + 1);
+                 raise Body_failed)
+           with Body_failed -> reraised := true);
+        (* Every node, including the one that failed, must still be able
+           to take the lock afterwards. *)
+        Msg_lock.with_lock lock node (fun () ->
+            let v = Shm.read_i64 (Node.shm node) counter in
+            Shm.write_i64 (Node.shm node) counter (v + 1));
+        Msg_barrier.wait barrier node;
+        if Node.id node = 0 then
+          final := Shm.read_i64 (Node.shm node) counter)
+  in
+  Alcotest.(check bool) "original exception re-raised" true !reraised;
+  Alcotest.(check int) "failed section's write plus one per node" 5 !final
+
 (* ------------------------------------------------------------------ *)
 (* Barrier *)
 
@@ -796,6 +828,8 @@ let () =
           Alcotest.test_case "mutual exclusion" `Quick
             test_lock_mutual_exclusion;
           Alcotest.test_case "counter value" `Quick test_lock_counter_value;
+          Alcotest.test_case "released on exception" `Quick
+            test_lock_released_on_exception;
         ] );
       ( "barrier",
         [

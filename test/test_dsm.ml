@@ -21,7 +21,7 @@ type cluster = {
   charged : float ref;
 }
 
-let make_cluster ?strategy n =
+let make_cluster ?strategy ?batch_fetch ?diff_cache n =
   let region =
     Region.create ~page_size:256 ~private_bytes:256 ~noncoherent_bytes:256
       ~coherent_pages:8 ()
@@ -34,7 +34,7 @@ let make_cluster ?strategy n =
     Array.init n (fun me ->
         Lrc.create ~nodes:n ~me
           ~page_table:(Shm.page_table shms.(me))
-          ~costs:Cost.default ~charge ?strategy ())
+          ~costs:Cost.default ~charge ?strategy ?batch_fetch ?diff_cache ())
   in
   let transport =
     {
@@ -517,6 +517,72 @@ let test_update_strategy_lock_chain () =
   let _ = release c ~src:3 ~dst:0 in
   Alcotest.(check int) "counter" 4 (Shm.read_i64 c.shms.(0) a)
 
+(* ------------------------------------------------------------------ *)
+(* Batched fetching and the creator-side merged-diff cache *)
+
+let test_vc_wire_size () =
+  (* Interval indices and clock components are 32-bit on the wire; the
+     old 2-bytes-per-entry accounting undercounted every message that
+     carries a clock. *)
+  Alcotest.(check int) "entry bytes" 4 Vc.entry_bytes;
+  Alcotest.(check int) "4-node clock" 16 (Vc.size_bytes (Vc.zero ~nodes:4));
+  Alcotest.(check int) "1-node clock" 4 (Vc.size_bytes (Vc.zero ~nodes:1))
+
+(* Two released intervals of one creator touching the same page: the
+   fault must fetch both in a single coalesced diff request. *)
+let coalescing_scenario ?batch_fetch ?diff_cache () =
+  let c = make_cluster ?batch_fetch ?diff_cache 3 in
+  let a = slot c ~page:0 0 and b = slot c ~page:0 1 in
+  Shm.write_i64 c.shms.(0) a 1;
+  let _ = release c ~src:0 ~dst:1 in
+  Shm.write_i64 c.shms.(0) b 2;
+  let _ = release c ~src:0 ~dst:1 in
+  let _ = release c ~src:0 ~dst:2 in
+  (c, a, b)
+
+let test_per_creator_coalescing () =
+  let c, a, b = coalescing_scenario () in
+  Alcotest.(check int) "no requests before the fault" 0
+    (Lrc.stats c.lrcs.(1)).Lrc.diff_requests;
+  Alcotest.(check int) "first interval's write" 1 (Shm.read_i64 c.shms.(1) a);
+  Alcotest.(check int) "second interval's write" 2 (Shm.read_i64 c.shms.(1) b);
+  Alcotest.(check int) "both intervals in one request" 1
+    (Lrc.stats c.lrcs.(1)).Lrc.diff_requests
+
+let test_diff_cache_hit_on_repeat_fetch () =
+  let c, a, b = coalescing_scenario () in
+  ignore (Shm.read_i64 c.shms.(1) a);
+  let s0 = Lrc.stats c.lrcs.(0) in
+  Alcotest.(check bool) "first fetch merges afresh" true
+    (s0.Lrc.diff_cache_misses > 0);
+  Alcotest.(check int) "nothing cached yet" 0 s0.Lrc.diff_cache_hits;
+  (* Node 2 missing the same (page, creator, range) must be served from
+     the memoized merge. *)
+  Alcotest.(check int) "repeat fetcher reads a" 1 (Shm.read_i64 c.shms.(2) a);
+  Alcotest.(check int) "repeat fetcher reads b" 2 (Shm.read_i64 c.shms.(2) b);
+  let s0' = Lrc.stats c.lrcs.(0) in
+  Alcotest.(check bool) "repeat fetch hits the cache" true
+    (s0'.Lrc.diff_cache_hits > 0);
+  Alcotest.(check int) "no extra merge" s0.Lrc.diff_cache_misses
+    s0'.Lrc.diff_cache_misses
+
+let test_diff_cache_disabled () =
+  let c, a, b = coalescing_scenario ~diff_cache:false () in
+  Alcotest.(check int) "node 1 reads a" 1 (Shm.read_i64 c.shms.(1) a);
+  Alcotest.(check int) "node 1 reads b" 2 (Shm.read_i64 c.shms.(1) b);
+  Alcotest.(check int) "node 2 reads a" 1 (Shm.read_i64 c.shms.(2) a);
+  Alcotest.(check int) "node 2 reads b" 2 (Shm.read_i64 c.shms.(2) b);
+  let s0 = Lrc.stats c.lrcs.(0) in
+  Alcotest.(check int) "no hits" 0 s0.Lrc.diff_cache_hits;
+  Alcotest.(check int) "no misses" 0 s0.Lrc.diff_cache_misses
+
+let test_batch_fetch_disabled_still_correct () =
+  let c, a, b = coalescing_scenario ~batch_fetch:false ~diff_cache:false () in
+  Alcotest.(check int) "node 1 reads a" 1 (Shm.read_i64 c.shms.(1) a);
+  Alcotest.(check int) "node 1 reads b" 2 (Shm.read_i64 c.shms.(1) b);
+  Alcotest.(check bool) "requests were issued" true
+    ((Lrc.stats c.lrcs.(1)).Lrc.diff_requests > 0)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -581,6 +647,18 @@ let () =
             test_update_onto_stale_base_caches;
           Alcotest.test_case "lock chain under update" `Quick
             test_update_strategy_lock_chain;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "vc wire size" `Quick test_vc_wire_size;
+          Alcotest.test_case "per-creator coalescing" `Quick
+            test_per_creator_coalescing;
+          Alcotest.test_case "diff cache hit on repeat fetch" `Quick
+            test_diff_cache_hit_on_repeat_fetch;
+          Alcotest.test_case "diff cache disabled" `Quick
+            test_diff_cache_disabled;
+          Alcotest.test_case "batch fetch disabled still correct" `Quick
+            test_batch_fetch_disabled_still_correct;
         ] );
       ( "lrc-properties",
         qcheck [ prop_lock_chain_counter; prop_false_sharing_slots ] );

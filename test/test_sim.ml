@@ -159,6 +159,25 @@ let test_engine_fiber_exception_propagates () =
   Alcotest.check_raises "propagates" (Failure "boom") (fun () ->
       Engine.run eng)
 
+let test_engine_multiple_failures_all_surface () =
+  (* Two fibers failing at the same virtual instant must both surface:
+     the engine drains the instant before raising, so the second failure
+     is recorded instead of dying with the queue. *)
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () ->
+      Engine.delay 1.0;
+      failwith "first");
+  Engine.spawn eng (fun () ->
+      Engine.delay 1.0;
+      failwith "second");
+  (match Engine.run eng with
+  | () -> Alcotest.fail "expected failures"
+  | exception Engine.Multiple_failures [ Failure a; Failure b ] ->
+    Alcotest.(check string) "primary first" "first" a;
+    Alcotest.(check string) "secondary kept" "second" b
+  | exception e -> raise e);
+  Alcotest.(check int) "failures listed" 2 (List.length (Engine.failures eng))
+
 let test_engine_suspend_resume () =
   let eng = Engine.create () in
   let resume_cell = ref None in
@@ -335,6 +354,8 @@ let () =
           Alcotest.test_case "fork" `Quick test_engine_fork;
           Alcotest.test_case "fiber exception propagates" `Quick
             test_engine_fiber_exception_propagates;
+          Alcotest.test_case "multiple failures all surface" `Quick
+            test_engine_multiple_failures_all_surface;
           Alcotest.test_case "suspend/resume" `Quick
             test_engine_suspend_resume;
           Alcotest.test_case "at callback" `Quick test_engine_at_callback;
