@@ -15,20 +15,24 @@ fmt:
 
 check: build fmt test
 
-# Run every app under the online consistency auditor; fails on any
-# violation (same matrix as the CI consistency-audit job, plus grid).
+# Run every app under the online consistency auditor on every backend;
+# fails on any violation (same matrix as the CI consistency-audit job).
+# Each backend enables its own invariant set in the auditor.
 audit: build
-	@for app in tsp qsort water grid; do \
-	  for variant in lock hybrid; do \
-	    echo "=== $$app/$$variant n=4 --audit ==="; \
-	    dune exec bin/carlos_run.exe -- \
-	      $$app --nodes 4 --variant $$variant --audit || exit 1; \
+	@for backend in lrc central seq; do \
+	  for app in tsp qsort water grid; do \
+	    for variant in lock hybrid; do \
+	      echo "=== $$app/$$variant n=4 --backend $$backend --audit ==="; \
+	      dune exec bin/carlos_run.exe -- \
+	        $$app --nodes 4 --variant $$variant \
+	        --backend $$backend --audit || exit 1; \
+	    done; \
 	  done; \
 	done
 
-# Regenerate BENCH_PR3.json (legacy vs batched rows for the 4-node
-# matrix) and run the audited matrix with batching enabled.  Fails on
-# any app-level check or audit violation.
+# Regenerate BENCH_PR6.json (backend x app x variant rows for the
+# 4-node matrix, plus the LRC legacy arm) and run the audited matrix.
+# Fails on any app-level check or audit violation.
 bench-smoke: build
 	dune exec bench/main.exe -- json
 	$(MAKE) audit

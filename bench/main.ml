@@ -9,6 +9,7 @@
    With no argument, everything except [micro] runs. *)
 
 module System = Carlos.System
+module Backend = Carlos_dsm.Backend
 module Cost = Carlos_dsm.Cost
 module Tsp = Carlos_apps.Tsp
 module Qsort = Carlos_apps.Qsort
@@ -259,9 +260,9 @@ let strategies () =
                ~ok:r.Water.energy_ok r.Water.report))
         [ ("lock", Water.Lock); ("hybrid", Water.Hybrid) ])
     [
-      ("invalidate", Carlos_dsm.Lrc.Invalidate);
-      ("update", Carlos_dsm.Lrc.Update);
-      ("hybrid-upd", Carlos_dsm.Lrc.Hybrid_update);
+      ("invalidate", Carlos_dsm.Lrc_backend.Invalidate);
+      ("update", Carlos_dsm.Lrc_backend.Update);
+      ("hybrid-upd", Carlos_dsm.Lrc_backend.Hybrid_update);
     ];
   Format.fprintf ppf
     "  expectation: update ships data eagerly with each RELEASE — fewer      faults and diff requests, larger messages (paper §3, §4.3)@."
@@ -338,8 +339,8 @@ let grid () =
                r.Grid.report))
         [ Grid.Barrier; Grid.Hybrid ])
     [
-      ("invalidate", Carlos_dsm.Lrc.Invalidate);
-      ("update", Carlos_dsm.Lrc.Update);
+      ("invalidate", Carlos_dsm.Lrc_backend.Invalidate);
+      ("update", Carlos_dsm.Lrc_backend.Update);
     ];
   Format.fprintf ppf
     "  neighbour notifications replace global barriers; under the update      strategy the boundary rows travel with the RELEASE (par.3)@."
@@ -401,22 +402,34 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable snapshot (BENCH_PR3.json): per-app wall clock,
-   message and wire totals for the standard 4-node lock/hybrid matrix,
-   each run twice — once with the legacy per-frame-ack unbatched
-   protocol ("legacy") and once with the batched fetch path, diff cache
-   and delayed cumulative acks ("batched").  Format documented in
+(* Machine-readable snapshot ([-o FILE], default BENCH_PR6.json):
+   per-app wall clock, message and wire totals for the 4-node
+   backend x app x variant matrix, generated from the three lists below
+   rather than copy-pasted rows.  The LRC backend additionally runs in
+   both protocol configs — "legacy" (per-frame acks, serial unbatched
+   fetching) and "batched" — to stay comparable with BENCH_PR3.json; the
+   other backends have no unbatched arm.  Format documented in
    EXPERIMENTS.md. *)
+
+let output_file = ref "BENCH_PR6.json"
+
+type json_app = {
+  ja_name : string;
+  ja_config : int -> System.config; (* nodes *)
+  ja_variants : (string * (System.t -> System.report * bool)) list;
+}
 
 let bench_json () =
   let module Obs = Carlos_obs.Obs in
   let nodes = 4 in
   let runs = ref [] in
   let failed = ref [] in
-  let measure ~app ~variant ~mode f =
+  let measure ~app ~variant ~backend ~mode f =
     let host0 = Sys.time () in
     let sys, report, ok = f () in
-    if not ok then failed := Printf.sprintf "%s/%s/%s" app variant mode :: !failed;
+    if not ok then
+      failed :=
+        Printf.sprintf "%s/%s/%s/%s" app variant backend mode :: !failed;
     let host = Sys.time () -. host0 in
     let c name =
       Obs.counter_value (System.obs sys) ~node:Obs.global_node ~layer:Obs.Net
@@ -424,54 +437,97 @@ let bench_json () =
     in
     runs :=
       Printf.sprintf
-        {|    { "app": %S, "variant": %S, "config": %S, "nodes": %d, "wall_s": %.6f, "messages": %d, "bytes": %d, "frames": %d, "wire_bytes": %d, "acks": %d, "acks_coalesced": %d, "diff_requests": %d, "ok": %b, "host_s": %.3f }|}
-        app variant mode nodes report.System.wall report.System.messages
-        report.System.message_bytes (c "medium.frames") (c "medium.bytes")
-        (c "sw.acks") (c "sw.acks_coalesced") report.System.diff_requests ok
-        host
+        {|    { "app": %S, "variant": %S, "backend": %S, "config": %S, "nodes": %d, "wall_s": %.6f, "messages": %d, "bytes": %d, "frames": %d, "wire_bytes": %d, "acks": %d, "acks_coalesced": %d, "diff_requests": %d, "ok": %b, "host_s": %.3f }|}
+        app variant backend mode nodes report.System.wall
+        report.System.messages report.System.message_bytes (c "medium.frames")
+        (c "medium.bytes") (c "sw.acks") (c "sw.acks_coalesced")
+        report.System.diff_requests ok host
       :: !runs
   in
   let reference = Tsp.solve_reference Tsp.default_params in
+  let apps =
+    [
+      {
+        ja_name = "tsp";
+        ja_config = (fun nodes -> System.default_config ~nodes);
+        ja_variants =
+          List.map
+            (fun (name, variant) ->
+              ( name,
+                fun sys ->
+                  let r = Tsp.run sys variant Tsp.default_params in
+                  (r.Tsp.report, r.Tsp.best = reference) ))
+            [ ("lock", Tsp.Lock); ("hybrid", Tsp.Hybrid) ];
+      };
+      {
+        ja_name = "qsort";
+        ja_config = (fun nodes -> Qsort.config ~nodes Qsort.default_params);
+        ja_variants =
+          List.map
+            (fun (name, variant) ->
+              ( name,
+                fun sys ->
+                  let r = Qsort.run sys variant Qsort.default_params in
+                  (r.Qsort.report, r.Qsort.sorted) ))
+            [ ("lock", Qsort.Lock); ("hybrid", Qsort.Hybrid1) ];
+      };
+      {
+        ja_name = "water";
+        ja_config = (fun nodes -> System.default_config ~nodes);
+        ja_variants =
+          List.map
+            (fun (name, variant) ->
+              ( name,
+                fun sys ->
+                  let r = Water.run sys variant Water.default_params in
+                  (r.Water.report, r.Water.energy_ok) ))
+            [ ("lock", Water.Lock); ("hybrid", Water.Hybrid) ];
+      };
+      {
+        ja_name = "grid";
+        ja_config = (fun nodes -> Grid.config ~nodes Grid.default_params);
+        ja_variants =
+          List.map
+            (fun (name, variant) ->
+              ( name,
+                fun sys ->
+                  let r = Grid.run sys variant Grid.default_params in
+                  (r.Grid.report, r.Grid.exact) ))
+            [ ("lock", Grid.Barrier); ("hybrid", Grid.Hybrid) ];
+      };
+    ]
+  in
   List.iter
-    (fun (mode, tweak) ->
+    (fun backend ->
+      let modes =
+        match backend with
+        | Backend.Lrc ->
+          [ ("legacy", System.legacy_config); ("batched", Fun.id) ]
+        | Backend.Central | Backend.Seq -> [ ("batched", Fun.id) ]
+      in
       List.iter
-        (fun (name, variant) ->
-          measure ~app:"tsp" ~variant:name ~mode (fun () ->
-              let sys = System.create (tweak (System.default_config ~nodes)) in
-              let r = Tsp.run sys variant Tsp.default_params in
-              (sys, r.Tsp.report, r.Tsp.best = reference)))
-        [ ("lock", Tsp.Lock); ("hybrid", Tsp.Hybrid) ];
-      List.iter
-        (fun (name, variant) ->
-          measure ~app:"qsort" ~variant:name ~mode (fun () ->
-              let sys =
-                System.create (tweak (Qsort.config ~nodes Qsort.default_params))
-              in
-              let r = Qsort.run sys variant Qsort.default_params in
-              (sys, r.Qsort.report, r.Qsort.sorted)))
-        [ ("lock", Qsort.Lock); ("hybrid", Qsort.Hybrid1) ];
-      List.iter
-        (fun (name, variant) ->
-          measure ~app:"water" ~variant:name ~mode (fun () ->
-              let sys = System.create (tweak (System.default_config ~nodes)) in
-              let r = Water.run sys variant Water.default_params in
-              (sys, r.Water.report, r.Water.energy_ok)))
-        [ ("lock", Water.Lock); ("hybrid", Water.Hybrid) ];
-      List.iter
-        (fun (name, variant) ->
-          measure ~app:"grid" ~variant:name ~mode (fun () ->
-              let sys =
-                System.create (tweak (Grid.config ~nodes Grid.default_params))
-              in
-              let r = Grid.run sys variant Grid.default_params in
-              (sys, r.Grid.report, r.Grid.exact)))
-        [ ("lock", Grid.Barrier); ("hybrid", Grid.Hybrid) ])
-    [ ("legacy", System.legacy_config); ("batched", fun cfg -> cfg) ];
-  let oc = open_out "BENCH_PR3.json" in
+        (fun (mode, tweak) ->
+          List.iter
+            (fun ja ->
+              List.iter
+                (fun (vname, run) ->
+                  measure ~app:ja.ja_name ~variant:vname
+                    ~backend:(Backend.kind_to_string backend) ~mode (fun () ->
+                      let cfg =
+                        { (tweak (ja.ja_config nodes)) with System.backend }
+                      in
+                      let sys = System.create cfg in
+                      let report, ok = run sys in
+                      (sys, report, ok)))
+                ja.ja_variants)
+            apps)
+        modes)
+    Backend.all_kinds;
+  let oc = open_out !output_file in
   Printf.fprintf oc "{\n  \"nodes\": %d,\n  \"runs\": [\n%s\n  ]\n}\n" nodes
     (String.concat ",\n" (List.rev !runs));
   close_out oc;
-  Format.fprintf ppf "wrote BENCH_PR3.json (%d runs)@." (List.length !runs);
+  Format.fprintf ppf "wrote %s (%d runs)@." !output_file (List.length !runs);
   if !failed <> [] then begin
     Format.fprintf ppf "FAILED app-level checks: %s@."
       (String.concat ", " (List.rev !failed));
@@ -500,7 +556,20 @@ let () =
       ("json", bench_json);
     ]
   in
-  let args = List.tl (Array.to_list Sys.argv) in
+  (* Pull "-o FILE" (snapshot destination for the json bench) out of the
+     argument list before dispatching bench names. *)
+  let rec strip_output = function
+    | "-o" :: file :: rest ->
+      output_file := file;
+      strip_output rest
+    | [ "-o" ] ->
+      Format.fprintf ppf "-o requires a file argument@.";
+      Format.pp_print_flush ppf ();
+      exit 2
+    | arg :: rest -> arg :: strip_output rest
+    | [] -> []
+  in
+  let args = strip_output (List.tl (Array.to_list Sys.argv)) in
   (match args with
   | [] -> List.iter (fun f -> f ()) all
   | names ->

@@ -8,6 +8,7 @@
    ([--metrics], [--metrics-json out.jsonl]). *)
 
 module System = Carlos.System
+module Backend = Carlos_dsm.Backend
 module Cost = Carlos_dsm.Cost
 module Obs = Carlos_obs.Obs
 module Audit = Carlos_audit.Audit
@@ -23,6 +24,7 @@ open Cmdliner
 type opts = {
   nodes : int;
   variant : string;
+  backend : string;
   costs : string;
   seed : int;
   breakdown : bool;
@@ -44,6 +46,14 @@ let variant_arg =
      hybrid-noforward, hybrid-all-release."
   in
   Arg.(value & opt string "hybrid" & info [ "variant" ] ~docv:"VARIANT" ~doc)
+
+let backend_arg =
+  let doc =
+    "Consistency backend: lrc (the paper's lazy release consistency), \
+     central (one-home-node sequentially-consistent store), seq \
+     (sequencer-stamped totally-ordered store)."
+  in
+  Arg.(value & opt string "lrc" & info [ "backend" ] ~docv:"BACKEND" ~doc)
 
 let costs_arg =
   let doc = "Cost table: default, treadmarks, fast-network." in
@@ -107,21 +117,35 @@ let no_batch_arg =
   Arg.(value & flag & info [ "no-batch" ] ~doc)
 
 let opts_term =
-  let mk nodes variant costs seed breakdown trace_file metrics metrics_json
-      audit causal no_batch =
-    { nodes; variant; costs; seed; breakdown; trace_file; metrics;
+  let mk nodes variant backend costs seed breakdown trace_file metrics
+      metrics_json audit causal no_batch =
+    { nodes; variant; backend; costs; seed; breakdown; trace_file; metrics;
       metrics_json; audit; causal; no_batch }
   in
   Term.(
-    const mk $ nodes_arg $ variant_arg $ costs_arg $ seed_arg $ breakdown_arg
-    $ trace_arg $ metrics_arg $ metrics_json_arg $ audit_arg $ causal_arg
-    $ no_batch_arg)
+    const mk $ nodes_arg $ variant_arg $ backend_arg $ costs_arg $ seed_arg
+    $ breakdown_arg $ trace_arg $ metrics_arg $ metrics_json_arg $ audit_arg
+    $ causal_arg $ no_batch_arg)
 
 let costs_of_string = function
   | "default" -> Ok Cost.default
   | "treadmarks" -> Ok Cost.treadmarks
   | "fast-network" -> Ok Cost.fast_network
   | s -> Error (Printf.sprintf "unknown cost table %S" s)
+
+(* Resolve --backend and reject flag combinations that only make sense
+   for the LRC protocol. *)
+let backend_of_opts opts =
+  match Backend.kind_of_string opts.backend with
+  | Error _ as e -> e
+  | Ok k ->
+    if opts.no_batch && k <> Backend.Lrc then
+      Error
+        (Printf.sprintf
+           "--no-batch toggles the LRC fetch path and cannot be combined \
+            with --backend %s (only --backend lrc)"
+           (Backend.kind_to_string k))
+    else Ok k
 
 let with_file file f =
   let oc = open_out file in
@@ -170,7 +194,8 @@ let finish ~opts ~sys ~label ~ok report =
     else `Ok ()
   with Sys_error msg -> `Error (false, "cannot write export: " ^ msg)
 
-let make_system ~opts cfg =
+let make_system ~opts ~backend cfg =
+  let cfg = { cfg with System.backend } in
   let cfg = if opts.no_batch then System.legacy_config cfg else cfg in
   let sys = System.create ~audit:opts.audit cfg in
   if opts.trace_file <> None || opts.causal then System.set_tracing sys true;
@@ -179,33 +204,36 @@ let make_system ~opts cfg =
 let run_tsp opts =
   match
     ( costs_of_string opts.costs,
+      backend_of_opts opts,
       match opts.variant with
       | "lock" -> Ok Tsp.Lock
       | "hybrid" | "hybrid-1" -> Ok Tsp.Hybrid
       | "hybrid-all-release" -> Ok Tsp.Hybrid_all_release
       | v -> Error (Printf.sprintf "TSP has no variant %S" v) )
   with
-  | Error e, _ | _, Error e -> `Error (false, e)
-  | Ok costs, Ok variant ->
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
+  | Ok costs, Ok backend, Ok variant ->
     let cfg =
       { (System.default_config ~nodes:opts.nodes) with
         System.costs;
         seed = opts.seed
       }
     in
-    let sys = make_system ~opts cfg in
+    let sys = make_system ~opts ~backend cfg in
     let p = Tsp.default_params in
     let r = Tsp.run sys variant p in
     Format.printf "TSP: best tour %d (reference %d), %d nodes visited@."
       r.Tsp.best (Tsp.solve_reference p) r.Tsp.visited;
     finish ~opts ~sys
-      ~label:("TSP/" ^ Tsp.variant_name variant)
+      ~label:
+        (Harness.backend_label ("TSP/" ^ Tsp.variant_name variant) backend)
       ~ok:(r.Tsp.best = Tsp.solve_reference p)
       r.Tsp.report
 
 let run_qsort opts =
   match
     ( costs_of_string opts.costs,
+      backend_of_opts opts,
       match opts.variant with
       | "lock" -> Ok Qsort.Lock
       | "hybrid" | "hybrid-1" -> Ok Qsort.Hybrid1
@@ -213,49 +241,55 @@ let run_qsort opts =
       | "hybrid-noforward" -> Ok Qsort.Hybrid_nf
       | v -> Error (Printf.sprintf "Quicksort has no variant %S" v) )
   with
-  | Error e, _ | _, Error e -> `Error (false, e)
-  | Ok costs, Ok variant ->
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
+  | Ok costs, Ok backend, Ok variant ->
     let p = Qsort.default_params in
     let cfg =
       { (Qsort.config ~nodes:opts.nodes p) with System.costs; seed = opts.seed }
     in
-    let sys = make_system ~opts cfg in
+    let sys = make_system ~opts ~backend cfg in
     let r = Qsort.run sys variant p in
     Format.printf "Quicksort: %d elements, %d leaves, sorted=%b@."
       p.Qsort.elements r.Qsort.leaves r.Qsort.sorted;
     finish ~opts ~sys
-      ~label:("QS/" ^ Qsort.variant_name variant)
+      ~label:
+        (Harness.backend_label ("QS/" ^ Qsort.variant_name variant) backend)
       ~ok:r.Qsort.sorted r.Qsort.report
 
 let run_water opts =
   match
     ( costs_of_string opts.costs,
+      backend_of_opts opts,
       match opts.variant with
       | "lock" -> Ok Water.Lock
       | "hybrid" -> Ok Water.Hybrid
       | "hybrid-all-release" -> Ok Water.Hybrid_all_release
       | v -> Error (Printf.sprintf "Water has no variant %S" v) )
   with
-  | Error e, _ | _, Error e -> `Error (false, e)
-  | Ok costs, Ok variant ->
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
+  | Ok costs, Ok backend, Ok variant ->
     let cfg =
       { (System.default_config ~nodes:opts.nodes) with
         System.costs;
         seed = opts.seed
       }
     in
-    let sys = make_system ~opts cfg in
+    let sys = make_system ~opts ~backend cfg in
     let p = Water.default_params in
     let r = Water.run sys variant p in
     Format.printf "Water: %d molecules, %d steps, energy %.6f (ok=%b)@."
       p.Water.molecules p.Water.steps r.Water.energy r.Water.energy_ok;
     finish ~opts ~sys
-      ~label:("Water/" ^ Water.variant_name variant)
+      ~label:
+        (Harness.backend_label
+           ("Water/" ^ Water.variant_name variant)
+           backend)
       ~ok:r.Water.energy_ok r.Water.report
 
 let run_grid opts =
   match
     ( costs_of_string opts.costs,
+      backend_of_opts opts,
       match opts.variant with
       (* "lock" accepted as an alias so the same variant matrix works for
          every app; Grid's conservative mode is the plain barrier. *)
@@ -263,18 +297,19 @@ let run_grid opts =
       | "hybrid" | "hybrid-1" -> Ok Grid.Hybrid
       | v -> Error (Printf.sprintf "Grid has no variant %S" v) )
   with
-  | Error e, _ | _, Error e -> `Error (false, e)
-  | Ok costs, Ok variant ->
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
+  | Ok costs, Ok backend, Ok variant ->
     let p = Grid.default_params in
     let cfg =
       { (Grid.config ~nodes:opts.nodes p) with System.costs; seed = opts.seed }
     in
-    let sys = make_system ~opts cfg in
+    let sys = make_system ~opts ~backend cfg in
     let r = Grid.run sys variant p in
     Format.printf "Grid: %dx%d, %d iterations, checksum %.6f (exact=%b)@."
       p.Grid.size p.Grid.size p.Grid.iterations r.Grid.checksum r.Grid.exact;
     finish ~opts ~sys
-      ~label:("Grid/" ^ Grid.variant_name variant)
+      ~label:
+        (Harness.backend_label ("Grid/" ^ Grid.variant_name variant) backend)
       ~ok:r.Grid.exact r.Grid.report
 
 let run_app name opts =

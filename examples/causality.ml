@@ -10,7 +10,7 @@ module Node = Carlos.Node
 module Msg_lock = Carlos.Msg_lock
 module Msg_barrier = Carlos.Msg_barrier
 module Shm = Carlos_vm.Shm
-module Lrc = Carlos_dsm.Lrc
+module Lrc = Carlos_dsm.Lrc_backend
 module Vc = Carlos_dsm.Vc
 
 let () =

@@ -10,7 +10,7 @@ module System = Carlos.System
 module Node = Carlos.Node
 module Work_queue = Carlos.Work_queue
 module Shm = Carlos_vm.Shm
-module Lrc = Carlos_dsm.Lrc
+module Lrc = Carlos_dsm.Lrc_backend
 module Vc = Carlos_dsm.Vc
 
 let items = 16

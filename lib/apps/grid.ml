@@ -22,7 +22,7 @@ let default_params =
 
 type result = { checksum : float; exact : bool; report : System.report }
 
-let config ?(nodes = 4) ?(strategy = Carlos_dsm.Lrc.Invalidate) p =
+let config ?(nodes = 4) ?(strategy = Carlos_dsm.Lrc_backend.Invalidate) p =
   let grid_pages = ((p.size * p.size * 8) + 4095) / 4096 in
   {
     (System.default_config ~nodes) with

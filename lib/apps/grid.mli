@@ -18,7 +18,7 @@
       memory coherence mechanism uses update rather than invalidation,
       the actual data transmission occurs eagerly and asynchronously when
       the notification message is sent" — run it under
-      [Carlos_dsm.Lrc.Update] to see exactly that. *)
+      [Carlos_dsm.Lrc_backend.Update] to see exactly that. *)
 
 type variant = Barrier | Hybrid
 
@@ -48,6 +48,6 @@ val run : Carlos.System.t -> variant -> params -> result
 (** A system configuration with a coherent region sized for the grid. *)
 val config :
   ?nodes:int ->
-  ?strategy:Carlos_dsm.Lrc.strategy ->
+  ?strategy:Carlos_dsm.Lrc_backend.strategy ->
   params ->
   Carlos.System.config

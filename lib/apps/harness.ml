@@ -12,6 +12,11 @@ type row = {
   ok : bool;
 }
 
+(* One labelling convention for backend-qualified rows everywhere
+   (driver output, bench matrix): "App/variant@backend". *)
+let backend_label label kind =
+  label ^ "@" ^ Carlos_dsm.Backend.kind_to_string kind
+
 let row ~label ~nodes ~base ~ok (report : System.report) =
   {
     label;

@@ -15,6 +15,10 @@ type row = {
   ok : bool; (* application-level correctness check *)
 }
 
+(** ["App/variant@backend"] — the one labelling convention for
+    backend-qualified rows (driver output, bench matrix). *)
+val backend_label : string -> Carlos_dsm.Backend.kind -> string
+
 (** [row ~label ~nodes ~base ~ok report] — [base] is the matching one-node
     time used for the speedup column. *)
 val row :

@@ -3,7 +3,9 @@
 
 module Obs = Carlos_obs.Obs
 module Vc = Carlos_dsm.Vc
-module Lrc = Carlos_dsm.Lrc
+module Lrc = Carlos_dsm.Lrc_backend
+module Central = Carlos_dsm.Central_backend
+module Seq = Carlos_dsm.Seq_backend
 
 type annotation = Release | Release_nt | Request | None_
 
@@ -52,6 +54,16 @@ type t = {
   page_applied : (int * int * int, int) Hashtbl.t;
   (* (trace_id, node) pairs where accepting is forbidden. *)
   relay : (int * int, unit) Hashtbl.t;
+  (* Central backend: the one home node seen, the version sequence per
+     page at home (must advance by exactly one per applied flush), and
+     the last version each node fetched per page (must be monotone). *)
+  mutable central_home : int option;
+  central_version : (int, int) Hashtbl.t; (* page -> home version *)
+  central_fetched : (int * int, int) Hashtbl.t; (* (node, page) *)
+  (* Seq backend: last stamp issued by the sequencer (must be contiguous)
+     and the highest stamp applied per node (must advance by one). *)
+  mutable seq_last_stamp : int;
+  seq_applied : (int, int) Hashtbl.t; (* node -> applied stamp *)
 }
 
 let create ?obs ~nodes () =
@@ -70,6 +82,11 @@ let create ?obs ~nodes () =
     page_seen = Hashtbl.create 128;
     page_applied = Hashtbl.create 256;
     relay = Hashtbl.create 16;
+    central_home = None;
+    central_version = Hashtbl.create 64;
+    central_fetched = Hashtbl.create 128;
+    seq_last_stamp = 0;
+    seq_applied = Hashtbl.create 16;
   }
 
 let violations t = List.rev t.violations_rev
@@ -309,4 +326,82 @@ let lrc_hooks t =
       (fun ~node ~page ~vc -> note_applied t ~node ~page vc);
     on_peer_note =
       (fun ~node ~peer ~vc -> Vc.join_in_place t.knows.(node).(peer) vc);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Central-backend hooks *)
+
+let central_hooks t =
+  {
+    Central.on_flush_applied =
+      (fun ~home ~origin ~page ~version ->
+        (match t.central_home with
+        | None -> t.central_home <- Some home
+        | Some h when h <> home ->
+          violate t ~check:"central-single-home" ~node:home
+            (Printf.sprintf
+               "flush applied at n%d but n%d already acted as home" home h)
+        | Some _ -> ());
+        let prev =
+          Option.value ~default:0 (Hashtbl.find_opt t.central_version page)
+        in
+        if version <> prev + 1 then
+          violate t ~check:"central-version-gap" ~node:home
+            (Printf.sprintf
+               "page %d jumped from version %d to %d (flush from n%d)" page
+               prev version origin);
+        Hashtbl.replace t.central_version page (max version prev));
+    on_page_fetched =
+      (fun ~node ~page ~version ->
+        let home_version =
+          Option.value ~default:0 (Hashtbl.find_opt t.central_version page)
+        in
+        if version > home_version then
+          violate t ~check:"central-version-gap" ~node
+            (Printf.sprintf
+               "fetched page %d at version %d the home never reached (%d)"
+               page version home_version);
+        (match Hashtbl.find_opt t.central_fetched (node, page) with
+        | Some prev when version < prev ->
+          violate t ~check:"central-fetch-stale" ~node
+            (Printf.sprintf
+               "page %d fetched at version %d after already seeing %d" page
+               version prev)
+        | _ -> ());
+        Hashtbl.replace t.central_fetched (node, page) version);
+    on_sync = (fun ~node:_ ~invalidated:_ -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Seq-backend hooks *)
+
+let seq_hooks t =
+  {
+    Seq.on_stamped =
+      (fun ~seq ~origin ->
+        if seq <> t.seq_last_stamp + 1 then
+          violate t ~check:"seq-stamp-contiguous" ~node:origin
+            (Printf.sprintf "stamp %d issued after %d (from n%d)" seq
+               t.seq_last_stamp origin);
+        t.seq_last_stamp <- max seq t.seq_last_stamp);
+    on_applied =
+      (fun ~node ~seq ~origin ->
+        if seq > t.seq_last_stamp then
+          violate t ~check:"seq-apply-order" ~node
+            (Printf.sprintf "applied stamp %d the sequencer never issued" seq);
+        let prev =
+          Option.value ~default:0 (Hashtbl.find_opt t.seq_applied node)
+        in
+        if seq <> prev + 1 then
+          violate t ~check:"seq-apply-order" ~node
+            (Printf.sprintf "applied stamp %d after %d (from n%d)" seq prev
+               origin);
+        Hashtbl.replace t.seq_applied node (max seq prev));
+    on_acquire =
+      (fun ~node ~upto ~applied ->
+        if applied < upto then
+          violate t ~check:"seq-acquire-coverage" ~node
+            (Printf.sprintf
+               "acquire completed needing stamp %d with only %d applied" upto
+               applied));
   }

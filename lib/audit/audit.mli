@@ -124,4 +124,28 @@ val expect_relay : t -> trace_id:int -> node:int -> unit
 
     The hook record to install with [Lrc.set_hooks] on every node's
     engine (shared: the callbacks carry the node id). *)
-val lrc_hooks : t -> Carlos_dsm.Lrc.hooks
+val lrc_hooks : t -> Carlos_dsm.Lrc_backend.hooks
+
+(** {1 Central-backend hooks}
+
+    Model-specific invariants for {!Carlos_dsm.Central_backend}:
+
+    - {b central-single-home}: exactly one node ever applies flushes;
+    - {b central-version-gap}: the home version of each page advances by
+      exactly one per applied flush, and no node fetches a version the
+      home never reached;
+    - {b central-fetch-stale}: the version a node fetches for a page
+      never goes backwards. *)
+val central_hooks : t -> Carlos_dsm.Central_backend.hooks
+
+(** {1 Seq-backend hooks}
+
+    Model-specific invariants for {!Carlos_dsm.Seq_backend}:
+
+    - {b seq-stamp-contiguous}: the sequencer issues stamps 1, 2, 3, …
+      with no gap or repeat;
+    - {b seq-apply-order}: every node applies stamps in exactly that
+      order, and never a stamp the sequencer did not issue;
+    - {b seq-acquire-coverage}: an acquire only completes once the local
+      applied stamp covers the accepted horizon. *)
+val seq_hooks : t -> Carlos_dsm.Seq_backend.hooks

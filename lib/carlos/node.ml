@@ -3,7 +3,8 @@ module Resource = Carlos_sim.Resource
 module Ivar = Resource.Ivar
 module Mailbox = Resource.Mailbox
 module Shm = Carlos_vm.Shm
-module Lrc = Carlos_dsm.Lrc
+module Lrc = Carlos_dsm.Lrc_backend
+module Backend = Carlos_dsm.Backend
 module Vc = Carlos_dsm.Vc
 module Interval = Carlos_dsm.Interval
 module Diff = Carlos_vm.Diff
@@ -46,7 +47,7 @@ type t = {
   nodes : int;
   engine : Engine.t;
   shm : Shm.t;
-  lrc : Lrc.t;
+  backend : Backend.t;
   (* Preemptible CPU model: application computation occupies the CPU up to
      [cpu_busy_until]; message-handler and consistency work runs at
      interrupt level (SIGIO/SIGSEGV in the real system), preempting the
@@ -72,7 +73,7 @@ and wire = {
   lane : lane;
   payload_bytes : int;
   handler : handler;
-  piggyback : Lrc.piggyback option; (* RELEASE / RELEASE_NT *)
+  piggyback : Backend.piggyback option; (* RELEASE / RELEASE_NT *)
   sender_vc : Vc.t option; (* REQUEST *)
   trace_id : int; (* stable causal trace id, from Obs.next_flow_id *)
   mutable hops : int; (* transmissions so far (0 = not yet sent) *)
@@ -97,7 +98,13 @@ let engine t = t.engine
 
 let shm t = t.shm
 
-let lrc t = t.lrc
+let backend t = t.backend
+
+let lrc t =
+  match t.backend with
+  | Backend.Lrc_b b -> b
+  | Backend.Central_b _ | Backend.Seq_b _ ->
+    raise (Handler_error "Node.lrc: node does not run the LRC backend")
 
 let breakdown t = t.breakdown
 
@@ -175,7 +182,7 @@ let flush_compute t =
 let wire_size message =
   am_header_bytes + message.payload_bytes
   + (match message.piggyback with
-    | Some pb -> Lrc.piggyback_size_bytes pb
+    | Some pb -> Backend.piggyback_size_bytes pb
     | None -> 0)
   + match message.sender_vc with Some vc -> Vc.size_bytes vc | None -> 0
 
@@ -197,18 +204,21 @@ let audit_send t ~dst message =
   | Some a when message.hops = 0 ->
     let required_vc, nontransitive, intervals =
       match message.piggyback with
-      | Some pb ->
+      | Some (Backend.Lrc_pb pb) ->
         ( Some pb.Lrc.required_vc,
           pb.Lrc.nontransitive,
           List.map
             (fun (i : Interval.t) ->
               (i.Interval.id.Interval.creator, i.Interval.id.Interval.index))
             pb.Lrc.intervals )
-      | None -> (None, false, [])
+      | Some (Backend.Central_pb _ | Backend.Seq_pb _) | None ->
+        (* Non-LRC piggybacks carry no clock; the LRC-specific send
+           invariants self-gate on [required_vc = None]. *)
+        (None, false, [])
     in
     Audit.on_send a ~trace_id:message.trace_id ~src:t.id ~dst
       ~annotation:(audit_annotation message.annotation)
-      ~vc:(Lrc.vc t.lrc) ~required_vc ~nontransitive ~intervals
+      ~vc:(Backend.vc t.backend) ~required_vc ~nontransitive ~intervals
       ~sender_vc:message.sender_vc
   | _ -> ()
 
@@ -258,12 +268,21 @@ let send_internal t ~dst ~lane ~annotation ~payload_bytes ~handler =
   let piggyback, sender_vc =
     match annotation with
     | Annotation.Release ->
-      (Some (Lrc.make_piggyback t.lrc ~receiver:dst ~nontransitive:false), None)
+      ( Some (Backend.make_piggyback t.backend ~receiver:dst
+            ~nontransitive:false),
+        None )
     | Annotation.Release_nt ->
-      (Some (Lrc.make_piggyback t.lrc ~receiver:dst ~nontransitive:true), None)
-    | Annotation.Request ->
-      charge t Breakdown.Carlos t.costs.Cost.vc_piggyback;
-      (None, Some (Vc.copy (Lrc.vc t.lrc)))
+      ( Some (Backend.make_piggyback t.backend ~receiver:dst
+            ~nontransitive:true),
+        None )
+    | Annotation.Request -> (
+      (* Models without vector time send a bare REQUEST: no clock bytes
+         on the wire and no piggyback charge on either side. *)
+      match Backend.request_vc t.backend with
+      | Some vc ->
+        charge t Breakdown.Carlos t.costs.Cost.vc_piggyback;
+        (None, Some vc)
+      | None -> (None, None))
     | Annotation.None_ -> (None, None)
   in
   let message =
@@ -274,6 +293,13 @@ let send_internal t ~dst ~lane ~annotation ~payload_bytes ~handler =
 
 let send t ~dst ~annotation ~payload_bytes ~handler =
   send_internal t ~dst ~lane:User_lane ~annotation ~payload_bytes ~handler
+
+(* One-way system-lane control message: runs at the destination's
+   interrupt level with no reply (the sequencer backend's update pushes
+   use this). *)
+let post t ~dst ~payload_bytes ~handler =
+  send_internal t ~dst ~lane:System_lane ~annotation:Annotation.None_
+    ~payload_bytes ~handler
 
 (* ------------------------------------------------------------------ *)
 (* Disposition *)
@@ -299,7 +325,7 @@ let check_disposable d op =
 let accept_batch t deliveries =
   let vc_before =
     match t.audit with
-    | Some _ -> Some (Vc.copy (Lrc.vc t.lrc))
+    | Some _ -> Some (Vc.copy (Backend.vc t.backend))
     | None -> None
   in
   Obs.span t.obs ~node:t.id ~layer:Obs.Carlos "accept" @@ fun () ->
@@ -324,11 +350,11 @@ let accept_batch t deliveries =
         | Annotation.Request | Annotation.None_ -> None)
       deliveries
   in
-  if piggybacks <> [] then Lrc.accept t.lrc piggybacks;
+  if piggybacks <> [] then Backend.accept t.backend piggybacks;
   match (t.audit, vc_before) with
   | Some a, Some before ->
     Audit.on_accept a ~node:t.id ~vc_before:before
-      ~vc_after:(Vc.copy (Lrc.vc t.lrc))
+      ~vc_after:(Vc.copy (Backend.vc t.backend))
       (List.map
          (fun d ->
            {
@@ -336,9 +362,10 @@ let accept_batch t deliveries =
              acc_annotation = audit_annotation d.message.annotation;
              acc_origin = d.message.origin;
              acc_required_vc =
-               Option.map
-                 (fun pb -> pb.Lrc.required_vc)
-                 d.message.piggyback;
+               (match d.message.piggyback with
+               | Some (Backend.Lrc_pb pb) -> Some pb.Lrc.required_vc
+               | Some (Backend.Central_pb _ | Backend.Seq_pb _) | None ->
+                 None);
            })
          deliveries)
   | _ -> ()
@@ -350,11 +377,11 @@ let forward d ~dst =
   let t = d.target in
   (match t.audit with
   | Some a ->
-    let vc_before = Vc.copy (Lrc.vc t.lrc) in
+    let vc_before = Vc.copy (Backend.vc t.backend) in
     d.disposition <- Forwarded;
     Obs.inc t.ins.forwarded_c;
     Audit.on_forward a ~trace_id:d.message.trace_id ~node:t.id ~dst
-      ~vc_before ~vc_after:(Lrc.vc t.lrc)
+      ~vc_before ~vc_after:(Backend.vc t.backend)
   | None ->
     d.disposition <- Forwarded;
     Obs.inc t.ins.forwarded_c);
@@ -368,11 +395,11 @@ let store d =
   let t = d.target in
   (match t.audit with
   | Some a ->
-    let vc_before = Vc.copy (Lrc.vc t.lrc) in
+    let vc_before = Vc.copy (Backend.vc t.backend) in
     d.disposition <- Stored;
     Obs.inc t.ins.stored_c;
     Audit.on_store a ~trace_id:d.message.trace_id ~node:t.id ~vc_before
-      ~vc_after:(Lrc.vc t.lrc)
+      ~vc_after:(Backend.vc t.backend)
   | None ->
     d.disposition <- Stored;
     Obs.inc t.ins.stored_c)
@@ -398,9 +425,10 @@ let run_handler t d =
   charge t Breakdown.Carlos t.costs.Cost.handler_dispatch;
   (match d.message.annotation with
   | Annotation.Request -> (
-    charge t Breakdown.Carlos t.costs.Cost.vc_piggyback;
     match d.message.sender_vc with
-    | Some vc -> Lrc.note_peer_vc t.lrc ~peer:d.message.origin vc
+    | Some vc ->
+      charge t Breakdown.Carlos t.costs.Cost.vc_piggyback;
+      Backend.note_peer_vc t.backend ~peer:d.message.origin vc
     | None -> ())
   | Annotation.Release | Annotation.Release_nt | Annotation.None_ -> ());
   d.message.handler t d;
@@ -471,8 +499,8 @@ let rpc t ~dst ~request_bytes ~service ~reply_bytes =
 (* ------------------------------------------------------------------ *)
 (* Construction *)
 
-let make ?obs ~id ~nodes ~engine ~shm ~costs ?strategy ?batch_fetch
-    ?diff_cache () =
+let make ?obs ~id ~nodes ~engine ~shm ~costs ?(backend = Backend.Lrc)
+    ?strategy ?batch_fetch ?diff_cache () =
   let obs =
     match obs with
     | Some o -> o
@@ -482,13 +510,24 @@ let make ?obs ~id ~nodes ~engine ~shm ~costs ?strategy ?batch_fetch
       let o = Obs.create ~clock:(fun () -> Engine.now engine) () in
       o
   in
-  (* The LRC engine charges consistency work to this node's CPU; tie the
+  (* The consistency backend charges its work to this node's CPU; tie the
      knot with a forward reference. *)
   let charge_consistency = ref (fun (_ : float) -> ()) in
-  let lrc =
-    Lrc.create ~obs ~nodes ~me:id ~page_table:(Shm.page_table shm) ~costs
-      ~charge:(fun dt -> !charge_consistency dt)
-      ?strategy ?batch_fetch ?diff_cache ()
+  let charge_dsm dt = !charge_consistency dt in
+  let backend =
+    match backend with
+    | Backend.Lrc ->
+      Backend.Lrc_b
+        (Lrc.create ~obs ~nodes ~me:id ~page_table:(Shm.page_table shm)
+           ~costs ~charge:charge_dsm ?strategy ?batch_fetch ?diff_cache ())
+    | Backend.Central ->
+      Backend.Central_b
+        (Carlos_dsm.Central_backend.create ~obs ~nodes ~me:id ~home:0
+           ~page_table:(Shm.page_table shm) ~costs ~charge:charge_dsm ())
+    | Backend.Seq ->
+      Backend.Seq_b
+        (Carlos_dsm.Seq_backend.create ~obs ~nodes ~me:id ~sequencer:0
+           ~page_table:(Shm.page_table shm) ~costs ~charge:charge_dsm ())
   in
   let counter name = Obs.counter obs ~node:id ~layer:Obs.Carlos name in
   let t =
@@ -497,7 +536,7 @@ let make ?obs ~id ~nodes ~engine ~shm ~costs ?strategy ?batch_fetch
       nodes;
       engine;
       shm;
-      lrc;
+      backend;
       cpu_busy_until = 0.0;
       costs;
       breakdown = Breakdown.create ~obs ~node:id ();

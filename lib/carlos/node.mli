@@ -42,7 +42,12 @@ val engine : t -> Carlos_sim.Engine.t
 
 val shm : t -> Carlos_vm.Shm.t
 
-val lrc : t -> Carlos_dsm.Lrc.t
+(** The node's consistency backend. *)
+val backend : t -> Carlos_dsm.Backend.t
+
+(** The LRC instance of a node running the LRC backend.  Raises
+    [Handler_error] on other backends. *)
+val lrc : t -> Carlos_dsm.Lrc_backend.t
 
 val breakdown : t -> Breakdown.t
 
@@ -64,6 +69,11 @@ val send :
   payload_bytes:int ->
   handler:handler ->
   unit
+
+(** One-way system-lane control message with no consistency annotation:
+    the handler runs at the destination's interrupt level and must not
+    block (the sequencer backend's update pushes use this). *)
+val post : t -> dst:int -> payload_bytes:int -> handler:handler -> unit
 
 (** {1 Disposition (called from handlers)} *)
 
@@ -156,7 +166,8 @@ val make :
   engine:Carlos_sim.Engine.t ->
   shm:Carlos_vm.Shm.t ->
   costs:Carlos_dsm.Cost.t ->
-  ?strategy:Carlos_dsm.Lrc.strategy ->
+  ?backend:Carlos_dsm.Backend.kind ->
+  ?strategy:Carlos_dsm.Lrc_backend.strategy ->
   ?batch_fetch:bool ->
   ?diff_cache:bool ->
   unit ->
@@ -164,7 +175,7 @@ val make :
 
 (** Install the online consistency auditor.  When set, the node reports
     every send / accept / forward / store to it (see
-    {!Carlos_audit.Audit}); installing the matching {!Carlos_dsm.Lrc}
+    {!Carlos_audit.Audit}); installing the matching {!Carlos_dsm.Lrc_backend}
     hooks is the caller's job ([System.create ~audit:true] does both). *)
 val set_audit : t -> Carlos_audit.Audit.t option -> unit
 

@@ -13,7 +13,10 @@ module Diff = Carlos_vm.Diff
 module Vc = Carlos_dsm.Vc
 module Interval = Carlos_dsm.Interval
 module Cost = Carlos_dsm.Cost
-module Lrc = Carlos_dsm.Lrc
+module Lrc = Carlos_dsm.Lrc_backend
+module Backend = Carlos_dsm.Backend
+module Central = Carlos_dsm.Central_backend
+module Seq = Carlos_dsm.Seq_backend
 module Obs = Carlos_obs.Obs
 module Audit = Carlos_audit.Audit
 
@@ -31,6 +34,7 @@ type config = {
   ack_every : int;
   ack_delay : float;
   costs : Cost.t;
+  backend : Backend.kind;
   strategy : Lrc.strategy;
   seed : int;
   gc_threshold : int option;
@@ -53,6 +57,7 @@ let default_config ~nodes =
     ack_every = 4;
     ack_delay = 0.005;
     costs = Cost.default;
+    backend = Backend.Lrc;
     strategy = Lrc.Invalidate;
     seed = 42;
     gc_threshold = Some (512 * 1024);
@@ -230,6 +235,70 @@ let wire_transport t node =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Central- and sequencer-backend transports over the message layer *)
+
+let central_of node =
+  match Node.backend node with
+  | Backend.Central_b b -> b
+  | Backend.Lrc_b _ | Backend.Seq_b _ ->
+    invalid_arg "System: node does not run the central backend"
+
+let seq_of node =
+  match Node.backend node with
+  | Backend.Seq_b b -> b
+  | Backend.Lrc_b _ | Backend.Central_b _ ->
+    invalid_arg "System: node does not run the sequencer backend"
+
+let diff_list_bytes diffs =
+  8 + List.fold_left (fun acc d -> acc + Diff.size_bytes d) 0 diffs
+
+let central_transport cfg node =
+  let me = Node.id node in
+  let home = Central.home (central_of node) in
+  {
+    Central.fetch_page =
+      (fun ~page ->
+        Node.rpc node ~dst:home ~request_bytes:12
+          ~service:(fun remote -> Central.serve_page (central_of remote) ~page)
+          ~reply_bytes:(fun (_, _) -> 12 + cfg.page_size));
+    flush =
+      (fun diffs ->
+        Node.rpc node ~dst:home ~request_bytes:(diff_list_bytes diffs)
+          ~service:(fun remote ->
+            Central.serve_flush (central_of remote) ~origin:me diffs)
+          ~reply_bytes:(fun () -> 8));
+  }
+
+let seq_transport node =
+  let me = Node.id node in
+  let sequencer = Seq.sequencer (seq_of node) in
+  {
+    Seq.sequence =
+      (fun diffs ->
+        Node.rpc node ~dst:sequencer ~request_bytes:(diff_list_bytes diffs)
+          ~service:(fun remote ->
+            Seq.serve_sequence (seq_of remote) ~origin:me diffs)
+          ~reply_bytes:(fun (_ : int) -> 12));
+    cas =
+      (fun ~page ~offset ~expected ~desired ->
+        Node.rpc node ~dst:sequencer ~request_bytes:32
+          ~service:(fun remote ->
+            Seq.serve_cas (seq_of remote) ~origin:me ~page ~offset ~expected
+              ~desired)
+          ~reply_bytes:(fun (_, _) -> 16));
+  }
+
+(* The sequencer's stamped updates ride one-way system-lane posts; the
+   per-pair FIFO of the sliding window turns send order (= stamp order,
+   under the sequencer mutex) into apply order at each replica. *)
+let seq_push sequencer_node ~dst entries =
+  Node.post sequencer_node ~dst
+    ~payload_bytes:(Seq.push_size_bytes entries)
+    ~handler:(fun remote d ->
+      Node.accept d;
+      Seq.apply_push (seq_of remote) entries)
+
+(* ------------------------------------------------------------------ *)
 (* Global garbage collection of consistency metadata.
 
    A rendezvous with the same shape as a TreadMarks barrier-time GC:
@@ -312,15 +381,17 @@ let request_gc t =
   end
 
 (* Safe-point hook installed on every node: ask for a GC when this node's
-   consistency metadata exceeds the threshold. *)
+   consistency metadata exceeds the threshold.  Only the LRC backend
+   accumulates lazy metadata; the other models report zero pressure and
+   never trigger the rendezvous (which is LRC-specific). *)
 let safe_point_check t node =
-  match t.cfg.gc_threshold with
-  | None -> ()
-  | Some threshold ->
+  match (t.cfg.gc_threshold, t.cfg.backend) with
+  | Some threshold, Backend.Lrc ->
     if
       (not t.gc.in_progress)
-      && Lrc.metadata_pressure (Node.lrc node) > threshold
+      && Backend.metadata_pressure (Node.backend node) > threshold
     then request_gc t
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -354,8 +425,8 @@ let create ?(audit = false) (cfg : config) =
     Array.init cfg.nodes (fun id ->
         let shm = Shm.create ~obs ~node:id ~region ~noncoherent () in
         Node.make ~obs ~id ~nodes:cfg.nodes ~engine ~shm ~costs:cfg.costs
-          ~strategy:cfg.strategy ~batch_fetch:cfg.batch_fetch
-          ~diff_cache:cfg.diff_cache ())
+          ~backend:cfg.backend ~strategy:cfg.strategy
+          ~batch_fetch:cfg.batch_fetch ~diff_cache:cfg.diff_cache ())
   in
   let auditor =
     if audit then Some (Audit.create ~obs ~nodes:cfg.nodes ()) else None
@@ -394,11 +465,21 @@ let create ?(audit = false) (cfg : config) =
           Sliding_window.send sw ~src:id ~dst ~payload_bytes:wire_bytes msg);
       Sliding_window.set_handler sw ~node:id (fun ~src ~size:_ msg ->
           Node.deliver node ~src msg);
-      Lrc.set_transport (Node.lrc node) (wire_transport t node);
+      (match Node.backend node with
+      | Backend.Lrc_b lrc -> Lrc.set_transport lrc (wire_transport t node)
+      | Backend.Central_b cb ->
+        if id <> Central.home cb then
+          Central.set_transport cb (central_transport cfg node)
+      | Backend.Seq_b sb ->
+        if id <> Seq.sequencer sb then Seq.set_transport sb (seq_transport node)
+        else Seq.set_push sb (seq_push node));
       (match auditor with
       | Some a ->
         Node.set_audit node (Some a);
-        Lrc.set_hooks (Node.lrc node) (Audit.lrc_hooks a)
+        (match Node.backend node with
+        | Backend.Lrc_b lrc -> Lrc.set_hooks lrc (Audit.lrc_hooks a)
+        | Backend.Central_b cb -> Central.set_hooks cb (Audit.central_hooks a)
+        | Backend.Seq_b sb -> Seq.set_hooks sb (Audit.seq_hooks a))
       | None -> ());
       Node.set_safe_point_hook node (fun n -> safe_point_check t n);
       Node.start_dispatcher node)
@@ -447,12 +528,18 @@ let run t app =
   in
   let diffs_created =
     Array.fold_left
-      (fun a node -> a + (Lrc.stats (Node.lrc node)).Lrc.diffs_created)
+      (fun a node ->
+        a
+        + (Backend.backend_stats (Node.backend node))
+            .Carlos_dsm.Backend_intf.diffs_created)
       0 t.nodes
   in
   let diff_requests =
     Array.fold_left
-      (fun a node -> a + (Lrc.stats (Node.lrc node)).Lrc.diff_requests)
+      (fun a node ->
+        a
+        + (Backend.backend_stats (Node.backend node))
+            .Carlos_dsm.Backend_intf.data_fetches)
       0 t.nodes
   in
   {

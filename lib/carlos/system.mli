@@ -32,9 +32,13 @@ type config = {
       (* ...or after this many seconds, whichever comes first; must stay
          below [rto] when [ack_every > 1] *)
   costs : Carlos_dsm.Cost.t;
-  strategy : Carlos_dsm.Lrc.strategy;
-      (* coherence strategy: invalidate (paper's measured configuration),
-         update, or hybrid (paper §4.3) *)
+  backend : Carlos_dsm.Backend.kind;
+      (* consistency model: Lrc (the paper's protocol), Central
+         (one-home-node sequential consistency) or Seq (sequencer-stamped
+         total order) *)
+  strategy : Carlos_dsm.Lrc_backend.strategy;
+      (* LRC only — coherence strategy: invalidate (paper's measured
+         configuration), update, or hybrid (paper §4.3) *)
   seed : int;
   gc_threshold : int option;
       (* consistency-metadata bytes per node that trigger a global GC;

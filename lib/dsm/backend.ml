@@ -1,0 +1,120 @@
+type kind = Lrc | Central | Seq
+
+let kind_of_string = function
+  | "lrc" -> Ok Lrc
+  | "central" -> Ok Central
+  | "seq" -> Ok Seq
+  | s -> Error (Printf.sprintf "unknown backend %S (expected lrc|central|seq)" s)
+
+let kind_to_string = function Lrc -> "lrc" | Central -> "central" | Seq -> "seq"
+
+let all_kinds = [ Lrc; Central; Seq ]
+
+(* Conformance checks: each model must satisfy the backend signature.
+   LRC predates it and keeps its historical surface (richer stats record,
+   always-piggybacked request clock), so it gets a thin adapter; the two
+   new models implement the signature natively. *)
+
+let lrc_request_vc b = Some (Vc.copy (Lrc_backend.vc b))
+
+let lrc_backend_stats b =
+  let s = Lrc_backend.stats b in
+  {
+    Backend_intf.diffs_created = s.diffs_created;
+    diffs_applied = s.diffs_applied;
+    data_fetches = s.diff_requests + s.interval_fetches + s.page_fetches;
+    page_fetches = s.page_fetches;
+    bytes_fetched = s.diff_bytes_fetched;
+  }
+
+module _ : Backend_intf.S = struct
+  include Lrc_backend
+
+  let request_vc = lrc_request_vc
+
+  let backend_stats = lrc_backend_stats
+end
+
+module _ : Backend_intf.S = Central_backend
+module _ : Backend_intf.S = Seq_backend
+
+type t =
+  | Lrc_b of Lrc_backend.t
+  | Central_b of Central_backend.t
+  | Seq_b of Seq_backend.t
+
+type piggyback =
+  | Lrc_pb of Lrc_backend.piggyback
+  | Central_pb of Central_backend.piggyback
+  | Seq_pb of Seq_backend.piggyback
+
+let kind = function Lrc_b _ -> Lrc | Central_b _ -> Central | Seq_b _ -> Seq
+
+let me = function
+  | Lrc_b b -> Lrc_backend.me b
+  | Central_b b -> Central_backend.me b
+  | Seq_b b -> Seq_backend.me b
+
+let vc = function
+  | Lrc_b b -> Lrc_backend.vc b
+  | Central_b b -> Central_backend.vc b
+  | Seq_b b -> Seq_backend.vc b
+
+let make_piggyback t ~receiver ~nontransitive =
+  match t with
+  | Lrc_b b -> Lrc_pb (Lrc_backend.make_piggyback b ~receiver ~nontransitive)
+  | Central_b b ->
+    Central_pb (Central_backend.make_piggyback b ~receiver ~nontransitive)
+  | Seq_b b -> Seq_pb (Seq_backend.make_piggyback b ~receiver ~nontransitive)
+
+let wrong_model () =
+  invalid_arg "Backend.accept: piggyback from a different consistency model"
+
+let accept t pbs =
+  match t with
+  | Lrc_b b ->
+    Lrc_backend.accept b
+      (List.map (function Lrc_pb pb -> pb | _ -> wrong_model ()) pbs)
+  | Central_b b ->
+    Central_backend.accept b
+      (List.map (function Central_pb pb -> pb | _ -> wrong_model ()) pbs)
+  | Seq_b b ->
+    Seq_backend.accept b
+      (List.map (function Seq_pb pb -> pb | _ -> wrong_model ()) pbs)
+
+let piggyback_size_bytes = function
+  | Lrc_pb pb -> Lrc_backend.piggyback_size_bytes pb
+  | Central_pb pb -> Central_backend.piggyback_size_bytes pb
+  | Seq_pb pb -> Seq_backend.piggyback_size_bytes pb
+
+let request_vc = function
+  | Lrc_b b -> lrc_request_vc b
+  | Central_b b -> Central_backend.request_vc b
+  | Seq_b b -> Seq_backend.request_vc b
+
+let note_peer_vc t ~peer vc =
+  match t with
+  | Lrc_b b -> Lrc_backend.note_peer_vc b ~peer vc
+  | Central_b b -> Central_backend.note_peer_vc b ~peer vc
+  | Seq_b b -> Seq_backend.note_peer_vc b ~peer vc
+
+let metadata_pressure = function
+  | Lrc_b b -> Lrc_backend.metadata_pressure b
+  | Central_b b -> Central_backend.metadata_pressure b
+  | Seq_b b -> Seq_backend.metadata_pressure b
+
+let validate_all = function
+  | Lrc_b b -> Lrc_backend.validate_all b
+  | Central_b b -> Central_backend.validate_all b
+  | Seq_b b -> Seq_backend.validate_all b
+
+let discard_before t snapshot =
+  match t with
+  | Lrc_b b -> Lrc_backend.discard_before b snapshot
+  | Central_b b -> Central_backend.discard_before b snapshot
+  | Seq_b b -> Seq_backend.discard_before b snapshot
+
+let backend_stats = function
+  | Lrc_b b -> lrc_backend_stats b
+  | Central_b b -> Central_backend.backend_stats b
+  | Seq_b b -> Seq_backend.backend_stats b

@@ -1,0 +1,107 @@
+(** The DSM backend signature: what a memory-consistency model must
+    provide to plug into the CarlOS message layer.
+
+    One backend instance runs per node.  A backend owns the node's
+    consistency metadata and installs itself as the fault handler of the
+    node's page table at creation time (fault handling); the message layer
+    drives it at synchronization points:
+
+    - {b release}: {!S.make_piggyback} builds the consistency information
+      appended to an outgoing RELEASE / RELEASE_NT message (for LRC the
+      closed interval descriptions; for the centralized store a flush
+      marker; for the sequencer store a global-order horizon);
+    - {b acquire / barrier participation}: {!S.accept} performs the
+      consistency actions of one or more accepted messages at once — the
+      batch form is how a barrier manager accepts the union of stored
+      arrivals;
+    - {b GC hook}: {!S.metadata_pressure} / {!S.validate_all} /
+      {!S.discard_before} let the global metadata collector size, force
+      and prune a backend's history (models with no lazy metadata report
+      zero pressure and treat the rest as no-ops);
+    - {b stats}: {!S.backend_stats} is the model-independent counter
+      aggregate the run report is built from.
+
+    The three implementations are {!Lrc_backend} (lazy release
+    consistency, the paper's protocol), {!Central_backend} (one home node
+    serializes everything — strongly consistent, maximally chatty) and
+    {!Seq_backend} (a sequencer stamps every write into one total order
+    and replicas apply pushes in stamp order).  {!Backend} packs them
+    behind one dispatch type. *)
+
+(** Model-independent protocol counters (each model also keeps richer
+    private counters in the observability registry). *)
+type stats = {
+  diffs_created : int;  (** diffs encoded locally (twin comparisons) *)
+  diffs_applied : int;  (** foreign diffs applied to local frames *)
+  data_fetches : int;
+      (** blocking data round trips: LRC diff requests, central flush /
+          page RPCs, sequencer write RPCs *)
+  page_fetches : int;  (** whole-page transfers *)
+  bytes_fetched : int;  (** payload bytes moved by those fetches *)
+}
+
+let zero_stats =
+  {
+    diffs_created = 0;
+    diffs_applied = 0;
+    data_fetches = 0;
+    page_fetches = 0;
+    bytes_fetched = 0;
+  }
+
+module type S = sig
+  type t
+
+  (** Model-specific consistency information carried by a RELEASE or
+      RELEASE_NT message. *)
+  type piggyback
+
+  val me : t -> int
+
+  (** The node's vector timestamp.  Models that do not use vector time
+      return a constant zero clock (the auditor's clock invariants then
+      hold trivially). *)
+  val vc : t -> Vc.t
+
+  (** {b Release hook.}  Build the consistency information for a RELEASE
+      ([nontransitive:false]) or RELEASE_NT ([nontransitive:true]) to
+      [receiver].  Publishes the node's writes as the model requires
+      (closing an interval, flushing to the home node, routing diffs
+      through the sequencer); may block on the wire. *)
+  val make_piggyback : t -> receiver:int -> nontransitive:bool -> piggyback
+
+  (** {b Acquire hook / barrier participation.}  Perform the acquire side
+      for a batch of accepted messages (several when a barrier manager
+      accepts all stored arrivals at once).  On return the node is
+      consistent with every sender as the model defines it.  May block. *)
+  val accept : t -> piggyback list -> unit
+
+  (** Wire size of the consistency information. *)
+  val piggyback_size_bytes : piggyback -> int
+
+  (** The clock to piggyback on an outgoing REQUEST message, or [None]
+      when the model has no use for peer timestamps (the message then
+      stays small and the receive path skips the clock charge). *)
+  val request_vc : t -> Vc.t option
+
+  (** Record knowledge about a peer gained outside accept (REQUEST
+      piggybacks, served fetches).  No-op for models without tailoring. *)
+  val note_peer_vc : t -> peer:int -> Vc.t -> unit
+
+  (** {1 GC hook} *)
+
+  (** Rough bytes of consistency metadata held.  Models with no lazy
+      metadata return 0 and are never collected. *)
+  val metadata_pressure : t -> int
+
+  (** Bring every stale local page up to date (blocking). *)
+  val validate_all : t -> unit
+
+  (** Discard metadata dominated by [snapshot] after a global
+      rendezvous. *)
+  val discard_before : t -> Vc.t -> unit
+
+  (** {1 Stats} *)
+
+  val backend_stats : t -> stats
+end

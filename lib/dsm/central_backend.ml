@@ -1,0 +1,316 @@
+(* Centralized-coordinator strongly-consistent store: one home node holds
+   the authoritative copy of every page; everyone else caches read-only
+   copies that die at the next acquire.  See central_backend.mli. *)
+
+module Page = Carlos_vm.Page
+module Page_table = Carlos_vm.Page_table
+module Diff = Carlos_vm.Diff
+module Obs = Carlos_obs.Obs
+module Ivar = Carlos_sim.Resource.Ivar
+
+exception Protocol_violation of string
+
+type piggyback = { origin : int }
+
+type transport = {
+  fetch_page : page:int -> Bytes.t * int;
+  flush : Carlos_vm.Diff.t list -> unit;
+}
+
+type hooks = {
+  on_flush_applied : home:int -> origin:int -> page:int -> version:int -> unit;
+  on_page_fetched : node:int -> page:int -> version:int -> unit;
+  on_sync : node:int -> invalidated:int -> unit;
+}
+
+let no_hooks =
+  {
+    on_flush_applied = (fun ~home:_ ~origin:_ ~page:_ ~version:_ -> ());
+    on_page_fetched = (fun ~node:_ ~page:_ ~version:_ -> ());
+    on_sync = (fun ~node:_ ~invalidated:_ -> ());
+  }
+
+type ins = {
+  diffs_created_c : Obs.counter;
+  diffs_applied_c : Obs.counter;
+  flush_rpcs_c : Obs.counter;
+  page_fetches_c : Obs.counter;
+  bytes_fetched_c : Obs.counter;
+  invalidations_c : Obs.counter;
+}
+
+type t = {
+  nodes : int;
+  me : int;
+  home : int;
+  page_table : Page_table.t;
+  costs : Cost.t;
+  charge : float -> unit;
+  (* All nodes share one zero clock: this model has no vector time. *)
+  zero_vc : Vc.t;
+  dirty : bool array;
+  (* Home only: authoritative per-page version, bumped once per applied
+     flush diff (and per own-write flush). *)
+  versions : int array;
+  (* Per-page fetch gates: concurrent fibers faulting on one page wait on
+     the first fetch instead of issuing duplicates (whose out-of-order
+     installs could clobber a twin made in between). *)
+  inflight : (int, unit Ivar.t) Hashtbl.t;
+  mutable transport : transport option;
+  mutable hooks : hooks;
+  ins : ins;
+}
+
+let create ?obs ~nodes ~me ~home ~page_table ~costs ~charge () =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let counter name = Obs.counter obs ~node:me ~layer:Obs.Dsm name in
+  let t =
+    {
+      nodes;
+      me;
+      home;
+      page_table;
+      costs;
+      charge;
+      zero_vc = Vc.zero ~nodes;
+      dirty = Array.make (Page_table.pages page_table) false;
+      versions = Array.make (Page_table.pages page_table) 0;
+      inflight = Hashtbl.create 16;
+      transport = None;
+      hooks = no_hooks;
+      ins =
+        {
+          diffs_created_c = counter "central.diffs_created";
+          diffs_applied_c = counter "central.diffs_applied";
+          flush_rpcs_c = counter "central.flush_rpcs";
+          page_fetches_c = counter "central.page_fetches";
+          bytes_fetched_c = counter "central.bytes_fetched";
+          invalidations_c = counter "central.invalidations";
+        };
+    }
+  in
+  let rec fetch_if_invalid page =
+    let p = Page_table.page t.page_table page in
+    if Page.state p = Page.Invalid then
+      match Hashtbl.find_opt t.inflight page with
+      | Some gate ->
+        Ivar.read gate;
+        fetch_if_invalid page
+      | None ->
+        let transport =
+          match t.transport with
+          | Some tr -> tr
+          | None ->
+            raise (Protocol_violation "central: transport not installed")
+        in
+        let gate = Ivar.create () in
+        Hashtbl.replace t.inflight page gate;
+        let finish () =
+          Hashtbl.remove t.inflight page;
+          Ivar.fill gate ()
+        in
+        (try
+           let data, version = transport.fetch_page ~page in
+           Obs.inc t.ins.page_fetches_c;
+           Obs.add t.ins.bytes_fetched_c (Bytes.length data);
+           Page.install p data;
+           t.hooks.on_page_fetched ~node:t.me ~page ~version;
+           t.charge
+             ((t.costs.Cost.twin_per_byte
+              *. float_of_int (Bytes.length data))
+             +. t.costs.Cost.page_protect)
+         with e ->
+           finish ();
+           raise e);
+        finish ()
+  in
+  Page_table.set_read_fault page_table (fun page ->
+      if t.me = t.home then
+        raise
+          (Protocol_violation
+             (Printf.sprintf "home node took a read fault on page %d" page));
+      t.charge t.costs.Cost.fault_trap;
+      fetch_if_invalid page);
+  Page_table.set_write_fault page_table (fun page ->
+      let p = Page_table.page t.page_table page in
+      (* ensure_writable faults Invalid pages readable first, so the page
+         is Read_only here.  Twin + dirty before charging: charges yield
+         the fiber and a concurrent flush must see a consistent pair. *)
+      Page.make_twin p;
+      t.dirty.(page) <- true;
+      t.charge
+        (t.costs.Cost.fault_trap
+        +. (t.costs.Cost.twin_per_byte
+           *. float_of_int (Bytes.length (Page.data p)))
+        +. t.costs.Cost.page_protect));
+  t
+
+let set_transport t tr = t.transport <- Some tr
+
+let set_hooks t hooks = t.hooks <- hooks
+
+let me t = t.me
+
+let home t = t.home
+
+let vc t = t.zero_vc
+
+let request_vc _ = None
+
+let note_peer_vc _ ~peer:_ _ = ()
+
+let metadata_pressure _ = 0
+
+let discard_before _ _ = ()
+
+let piggyback_size_bytes (_ : piggyback) = 4
+
+(* ------------------------------------------------------------------ *)
+(* Home side (interrupt level, non-blocking except CPU charges) *)
+
+let bump_version t ~origin page =
+  t.versions.(page) <- t.versions.(page) + 1;
+  t.hooks.on_flush_applied ~home:t.me ~origin ~page
+    ~version:t.versions.(page)
+
+let serve_page t ~page =
+  if t.me <> t.home then
+    raise (Protocol_violation "central: serve_page on a non-home node");
+  (* The live frame is the authoritative copy, whether or not the home
+     node itself holds an open twin on it. *)
+  let p = Page_table.page t.page_table page in
+  (Bytes.copy (Page.data p), t.versions.(page))
+
+let serve_flush t ~origin diffs =
+  if t.me <> t.home then
+    raise (Protocol_violation "central: serve_flush on a non-home node");
+  let changed = ref 0 in
+  List.iter
+    (fun diff ->
+      let page = Diff.page diff in
+      let p = Page_table.page t.page_table page in
+      (* Patch the twin as well when the home node has its own open writes
+         on the page, so its next flush does not republish these bytes. *)
+      Page.apply_diff_to_twin p diff;
+      changed := !changed + Diff.changed_bytes diff;
+      Obs.inc t.ins.diffs_applied_c;
+      bump_version t ~origin page)
+    diffs;
+  t.charge
+    ((t.costs.Cost.diff_data_per_byte *. float_of_int !changed)
+    +. t.costs.Cost.diff_request_fixed)
+
+(* ------------------------------------------------------------------ *)
+(* Flushing *)
+
+(* Encode every dirty page's modifications and hand them to home.  The
+   dirty set is snapshotted and cleared before any charge: charges yield
+   the fiber, and a concurrent writer re-dirtying a page must keep its
+   flag for the next flush rather than be lost. *)
+let flush_dirty t =
+  let pages = ref [] in
+  Array.iteri
+    (fun page d ->
+      if d then begin
+        t.dirty.(page) <- false;
+        pages := page :: !pages
+      end)
+    t.dirty;
+  let diffs =
+    List.filter_map
+      (fun page ->
+        let p = Page_table.page t.page_table page in
+        let encoded = ref [] in
+        (* A charge below may yield to a fiber that re-twins the page;
+           loop until it is clean at this instant. *)
+        while Page.state p = Page.Read_write do
+          let diff = Page.encode_diff p ~page_index:page in
+          Obs.inc t.ins.diffs_created_c;
+          t.charge
+            ((t.costs.Cost.diff_scan_per_byte
+             *. float_of_int (Bytes.length (Page.data p)))
+            +. (t.costs.Cost.diff_data_per_byte
+               *. float_of_int (Diff.changed_bytes diff))
+            +. t.costs.Cost.page_protect);
+          if not (Diff.is_empty diff) then encoded := diff :: !encoded
+        done;
+        match List.rev !encoded with
+        | [] -> None
+        | [ d ] -> Some d
+        | ds -> Some (Diff.merge ds))
+      (List.rev !pages)
+  in
+  if diffs <> [] then
+    if t.me = t.home then
+      (* The home node's writes are already in the authoritative frames;
+         flushing just retires the twins and advances the versions. *)
+      List.iter
+        (fun diff ->
+          Obs.inc t.ins.diffs_applied_c;
+          bump_version t ~origin:t.me (Diff.page diff))
+        diffs
+    else begin
+      let transport =
+        match t.transport with
+        | Some tr -> tr
+        | None -> raise (Protocol_violation "central: transport not installed")
+      in
+      Obs.inc t.ins.flush_rpcs_c;
+      transport.flush diffs
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Release / acquire *)
+
+let make_piggyback t ~receiver:_ ~nontransitive:_ =
+  flush_dirty t;
+  { origin = t.me }
+
+let invalidate_cached t =
+  if t.me = t.home then 0
+  else begin
+    let n = ref 0 in
+    for page = 0 to Page_table.pages t.page_table - 1 do
+      let p = Page_table.page t.page_table page in
+      (* flush_dirty just ran, so no page is Read_write unless a
+         concurrent fiber re-twinned it mid-charge; such a page carries
+         fresh local writes and will flush (and die) at the next sync. *)
+      if Page.state p = Page.Read_only then begin
+        Page.invalidate p;
+        incr n
+      end
+    done;
+    !n
+  end
+
+let accept t pbs =
+  if pbs <> [] then begin
+    (* A barrier manager reaches its own fall without sending a release:
+       its writes flush here, before the wholesale invalidation below
+       (which requires clean pages anyway). *)
+    flush_dirty t;
+    let invalidated = invalidate_cached t in
+    Obs.add t.ins.invalidations_c invalidated;
+    t.hooks.on_sync ~node:t.me ~invalidated;
+    if invalidated > 0 then
+      t.charge (t.costs.Cost.page_protect *. float_of_int invalidated)
+  end
+
+let validate_all t =
+  (* Bring every invalid page current (GC rendezvous support; the
+     metadata GC never triggers for this model, but the operation is
+     still meaningful). *)
+  if t.me <> t.home then
+    for page = 0 to Page_table.pages t.page_table - 1 do
+      Page_table.ensure_readable t.page_table page
+    done
+
+let backend_stats t =
+  {
+    Backend_intf.diffs_created = Obs.value t.ins.diffs_created_c;
+    diffs_applied = Obs.value t.ins.diffs_applied_c;
+    data_fetches =
+      Obs.value t.ins.flush_rpcs_c + Obs.value t.ins.page_fetches_c;
+    page_fetches = Obs.value t.ins.page_fetches_c;
+    bytes_fetched = Obs.value t.ins.bytes_fetched_c;
+  }

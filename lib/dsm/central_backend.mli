@@ -1,0 +1,114 @@
+(** Centralized-coordinator strongly-consistent store.
+
+    The contrast backend at the opposite end of the consistency spectrum
+    from {!Lrc_backend}: one {e home} node holds the authoritative copy of
+    every coherent page and serializes all updates (the CA design of
+    SNIPPETS.md Snippet 1, where node 0 receives every read and write).
+    Pages are never replicated writable — a node's local writes are
+    private twins until the next synchronization point, when they are
+    flushed to the home node as diffs over one blocking RPC.
+
+    Protocol, per node:
+
+    - {b write fault}: twin the page and mark it dirty (the only local
+      state a node accumulates);
+    - {b release} ({!make_piggyback}): flush every dirty page's diff to
+      the home node; the piggyback itself is just an origin marker — all
+      ordering lives at home;
+    - {b acquire} ({!accept}): flush own dirty pages (a barrier manager
+      reaches this point without ever sending a release), then invalidate
+      {e every} locally cached page, so every post-acquire read refetches
+      the home node's current copy;
+    - {b read fault}: fetch the whole page from home (with its version,
+      for the auditor's freshness invariant) and install it.
+
+    For data-race-free programs this yields sequential consistency: all
+    writes are serialized by home-application order, and no stale copy
+    survives an acquire.  The price is exactly what the paper's design
+    avoids — every synchronization invalidates wholesale and every working
+    -set page costs a full-page round trip to one hot node. *)
+
+type t
+
+exception Protocol_violation of string
+
+(** Consistency information on a RELEASE/RELEASE_NT: only the origin —
+    the data already reached home before the message was sent. *)
+type piggyback = { origin : int }
+
+type transport = {
+  fetch_page : page:int -> Bytes.t * int;
+      (** blocking RPC to home; answered by {!serve_page} *)
+  flush : Carlos_vm.Diff.t list -> unit;
+      (** blocking RPC to home; answered by {!serve_flush} *)
+}
+
+(** [create ~nodes ~me ~home ~page_table ~costs ~charge ()] — [home] is
+    the coordinator node (conventionally 0).  Installs the fault handlers
+    on [page_table].  The home node needs no transport; every other node
+    must get one via {!set_transport}. *)
+val create :
+  ?obs:Carlos_obs.Obs.t ->
+  nodes:int ->
+  me:int ->
+  home:int ->
+  page_table:Carlos_vm.Page_table.t ->
+  costs:Cost.t ->
+  charge:(float -> unit) ->
+  unit ->
+  t
+
+val set_transport : t -> transport -> unit
+
+val me : t -> int
+
+val home : t -> int
+
+(** {1 Audit hooks} *)
+
+type hooks = {
+  on_flush_applied : home:int -> origin:int -> page:int -> version:int -> unit;
+      (** the home node applied one flushed diff of [origin] to [page],
+          raising it to [version] *)
+  on_page_fetched : node:int -> page:int -> version:int -> unit;
+      (** [node] installed home's copy of [page] at [version] *)
+  on_sync : node:int -> invalidated:int -> unit;
+      (** [node] completed an acquire, invalidating [invalidated] cached
+          pages *)
+}
+
+val no_hooks : hooks
+
+val set_hooks : t -> hooks -> unit
+
+(** {1 Backend interface} (see {!Backend_intf.S}) *)
+
+val vc : t -> Vc.t
+
+val make_piggyback : t -> receiver:int -> nontransitive:bool -> piggyback
+
+val accept : t -> piggyback list -> unit
+
+val piggyback_size_bytes : piggyback -> int
+
+val request_vc : t -> Vc.t option
+
+val note_peer_vc : t -> peer:int -> Vc.t -> unit
+
+val metadata_pressure : t -> int
+
+val validate_all : t -> unit
+
+val discard_before : t -> Vc.t -> unit
+
+val backend_stats : t -> Backend_intf.stats
+
+(** {1 Serving remote requests (home node, interrupt level)} *)
+
+(** Answer a page fetch with the live authoritative copy and its
+    version. *)
+val serve_page : t -> page:int -> Bytes.t * int
+
+(** Apply a batch of flushed diffs from [origin] to the authoritative
+    copies. *)
+val serve_flush : t -> origin:int -> Carlos_vm.Diff.t list -> unit

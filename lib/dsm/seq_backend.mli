@@ -1,0 +1,168 @@
+(** Sequencer-based totally-ordered store.
+
+    The middle point of the consistency spectrum: one {e sequencer} node
+    (conventionally 0) stamps every write batch — and every CAS — with a
+    global sequence number and pushes the resulting updates to every
+    replica, which applies them strictly in stamp order (the
+    sequencer/total-order designs of SNIPPETS.md Snippets 2–3).  Every
+    node holds a full, never-invalidated copy of the coherent region;
+    there are no page fetches at all.
+
+    Protocol, per node:
+
+    - {b write fault}: twin the page and mark it dirty, exactly as in
+      {!Central_backend};
+    - {b release} ({!make_piggyback}): encode dirty pages' diffs and send
+      them to the sequencer over one blocking RPC; the sequencer stamps
+      each diff, applies it to its own frames, and {e pushes} the stamped
+      update to every other node.  The piggyback carries the origin and an
+      [upto] horizon — the highest stamp this node's causal past depends
+      on;
+    - {b acquire} ({!accept}): flush own dirty pages (a barrier manager
+      reaches its fall without sending a release), then block until the
+      local applied stamp reaches the maximum [upto] of the accepted
+      piggybacks;
+    - {b push} ({!apply_push}): applied at interrupt level in arrival
+      order.  Per-pair FIFO delivery from the single sequencer source
+      makes arrival order equal stamp order, which the replica enforces
+      (stamps must be contiguous).  A replica skips the payload of its
+      own diffs — its frames already hold those values, and newer
+      unreleased local writes must not be reverted — but still advances
+      its applied stamp.
+
+    CAS executes {e at} the sequencer against its authoritative frame and
+    is pushed as a single-run patch, which every node including the
+    origin applies: read-modify-write gets a total order without any
+    lock.
+
+    Because the sequencer's RPC reply and its pushes to the origin share
+    one FIFO channel, a node returning from a flush has already applied
+    every stamp it produced. *)
+
+type t
+
+exception Protocol_violation of string
+
+type update =
+  | Diff_u of Carlos_vm.Diff.t
+  | Patch_u of { page : int; offset : int; data : Bytes.t }
+
+(** One stamped update in the global order. *)
+type entry = { seq : int; origin : int; update : update }
+
+(** Consistency information on a RELEASE/RELEASE_NT: the sender's causal
+    horizon in the global order. *)
+type piggyback = { origin : int; upto : int }
+
+type transport = {
+  sequence : Carlos_vm.Diff.t list -> int;
+      (** blocking RPC to the sequencer; answered by {!serve_sequence};
+          returns the last stamp assigned *)
+  cas : page:int -> offset:int -> expected:int -> desired:int -> bool * int;
+      (** blocking RPC to the sequencer; answered by {!serve_cas};
+          returns (success, observed value) *)
+}
+
+(** [create ~nodes ~me ~sequencer ~page_table ~costs ~charge ()] installs
+    the fault handlers on [page_table].  The sequencer node needs no
+    transport; every other node must get one via {!set_transport}.  The
+    sequencer must additionally get a push function via {!set_push}. *)
+val create :
+  ?obs:Carlos_obs.Obs.t ->
+  nodes:int ->
+  me:int ->
+  sequencer:int ->
+  page_table:Carlos_vm.Page_table.t ->
+  costs:Cost.t ->
+  charge:(float -> unit) ->
+  unit ->
+  t
+
+val set_transport : t -> transport -> unit
+
+(** Sequencer only: how to deliver a batch of stamped entries to one
+    replica (a one-way system-lane message in the full system; a direct
+    call in unit tests).  Entries are in stamp order and must be
+    delivered to {!apply_push} in that order. *)
+val set_push : t -> (dst:int -> entry list -> unit) -> unit
+
+val me : t -> int
+
+val sequencer : t -> int
+
+(** Highest stamp applied locally. *)
+val applied_seq : t -> int
+
+(** {1 Compare-and-swap}
+
+    Atomically replace the 8-byte little-endian integer at
+    [page]/[offset] with [desired] iff it currently reads [expected] at
+    the sequencer.  Returns (success, observed value).  On return the
+    local frame reflects the outcome. *)
+val cas :
+  t -> page:int -> offset:int -> expected:int -> desired:int -> bool * int
+
+(** {1 Audit hooks} *)
+
+type hooks = {
+  on_stamped : seq:int -> origin:int -> unit;
+      (** the sequencer assigned stamp [seq] to an update of [origin] *)
+  on_applied : node:int -> seq:int -> origin:int -> unit;
+      (** [node] applied (or skipped, for its own diffs) stamp [seq] *)
+  on_acquire : node:int -> upto:int -> applied:int -> unit;
+      (** [node] completed an acquire needing [upto] with [applied]
+          stamps already applied locally *)
+}
+
+val no_hooks : hooks
+
+val set_hooks : t -> hooks -> unit
+
+(** {1 Backend interface} (see {!Backend_intf.S}) *)
+
+val vc : t -> Vc.t
+
+val make_piggyback : t -> receiver:int -> nontransitive:bool -> piggyback
+
+val accept : t -> piggyback list -> unit
+
+val piggyback_size_bytes : piggyback -> int
+
+val request_vc : t -> Vc.t option
+
+val note_peer_vc : t -> peer:int -> Vc.t -> unit
+
+val metadata_pressure : t -> int
+
+val validate_all : t -> unit
+
+val discard_before : t -> Vc.t -> unit
+
+val backend_stats : t -> Backend_intf.stats
+
+(** {1 Serving remote requests (sequencer node, interrupt level)} *)
+
+(** Stamp and broadcast a batch of diffs from [origin]; returns the last
+    stamp assigned (0 when [diffs] is empty and no stamp was taken). *)
+val serve_sequence : t -> origin:int -> Carlos_vm.Diff.t list -> int
+
+(** Execute a CAS from [origin] against the authoritative frame. *)
+val serve_cas :
+  t ->
+  origin:int ->
+  page:int ->
+  offset:int ->
+  expected:int ->
+  desired:int ->
+  bool * int
+
+(** {1 Replica side (interrupt level)} *)
+
+(** Apply a batch of pushed entries in stamp order. *)
+val apply_push : t -> entry list -> unit
+
+(** {1 Wire sizing} *)
+
+val entry_size_bytes : entry -> int
+
+val push_size_bytes : entry list -> int

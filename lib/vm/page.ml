@@ -46,6 +46,21 @@ let invalidate t =
 
 let apply_diff t diff = Diff.apply diff t.data
 
+let apply_diff_to_twin t diff =
+  Diff.apply diff t.data;
+  match (t.state, t.twin) with
+  | Read_write, Some twin -> Diff.apply diff twin
+  | _ -> ()
+
+let patch t ~offset src =
+  let len = Bytes.length src in
+  if offset < 0 || offset + len > Bytes.length t.data then
+    invalid_arg "Page.patch: out of range";
+  Bytes.blit src 0 t.data offset len;
+  match (t.state, t.twin) with
+  | Read_write, Some twin -> Bytes.blit src 0 twin offset len
+  | _ -> ()
+
 let install t bytes =
   if Bytes.length bytes <> Bytes.length t.data then
     invalid_arg "Page.install: size mismatch";

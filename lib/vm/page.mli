@@ -43,6 +43,19 @@ val invalidate : t -> unit
 (** Apply a diff from another writer to the local copy. *)
 val apply_diff : t -> Diff.t -> unit
 
+(** Apply a diff to both the live data and, when the page is
+    [Read_write], the twin.  Update-style protocols that overwrite
+    replicas in place (rather than invalidating) must use this form for
+    foreign updates: patching only the data of a write-enabled page would
+    make the local writer's next {!encode_diff} republish the foreign
+    bytes as its own. *)
+val apply_diff_to_twin : t -> Diff.t -> unit
+
+(** Overwrite [offset..offset+len-1] with [src] in the live data and,
+    when the page is [Read_write], in the twin — a single-run in-place
+    update (the totally-ordered store's CAS push uses this). *)
+val patch : t -> offset:int -> Bytes.t -> unit
+
 (** Overwrite the whole page (a full-page fetch) and mark [Read_only]. *)
 val install : t -> Bytes.t -> unit
 

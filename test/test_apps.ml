@@ -103,7 +103,7 @@ let test_water_update_strategy () =
           let r = Water.run (System.create cfg) variant water_params in
           Alcotest.(check bool) "energy" true r.Water.energy_ok)
         [ Water.Lock; Water.Hybrid ])
-    [ Carlos_dsm.Lrc.Update; Carlos_dsm.Lrc.Hybrid_update ]
+    [ Carlos_dsm.Lrc_backend.Update; Carlos_dsm.Lrc_backend.Hybrid_update ]
 
 let test_tsp_update_strategy () =
   List.iter
@@ -111,7 +111,7 @@ let test_tsp_update_strategy () =
       let cfg = { (System.default_config ~nodes:3) with System.strategy } in
       let r = Tsp.run (System.create cfg) Tsp.Lock tsp_params in
       Alcotest.(check int) "optimal" (Tsp.solve_reference tsp_params) r.Tsp.best)
-    [ Carlos_dsm.Lrc.Update; Carlos_dsm.Lrc.Hybrid_update ]
+    [ Carlos_dsm.Lrc_backend.Update; Carlos_dsm.Lrc_backend.Hybrid_update ]
 
 let test_qsort_update_strategy () =
   List.iter
@@ -119,7 +119,7 @@ let test_qsort_update_strategy () =
       let cfg = { (Qsort.config ~nodes:4 qs_params) with System.strategy } in
       let r = Qsort.run (System.create cfg) Qsort.Hybrid1 qs_params in
       Alcotest.(check bool) "sorted" true r.Qsort.sorted)
-    [ Carlos_dsm.Lrc.Update; Carlos_dsm.Lrc.Hybrid_update ]
+    [ Carlos_dsm.Lrc_backend.Update; Carlos_dsm.Lrc_backend.Hybrid_update ]
 
 let test_grid variant nodes () =
   let sys = System.create (Grid.config ~nodes grid_params) in
@@ -134,7 +134,7 @@ let test_grid_update_strategy () =
       let sys = System.create (Grid.config ~nodes:4 ~strategy grid_params) in
       let r = Grid.run sys Grid.Hybrid grid_params in
       Alcotest.(check bool) "exact" true r.Grid.exact)
-    [ Carlos_dsm.Lrc.Update; Carlos_dsm.Lrc.Hybrid_update ]
+    [ Carlos_dsm.Lrc_backend.Update; Carlos_dsm.Lrc_backend.Hybrid_update ]
 
 let test_grid_neighbour_sync_beats_barrier () =
   (* The hybrid's neighbour-only synchronization must not be slower than

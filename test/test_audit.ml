@@ -4,7 +4,7 @@
    through the forwarding work-queue manager, offline causal analysis). *)
 
 module Vc = Carlos_dsm.Vc
-module Lrc = Carlos_dsm.Lrc
+module Lrc = Carlos_dsm.Lrc_backend
 module Shm = Carlos_vm.Shm
 module Annotation = Carlos.Annotation
 module Node = Carlos.Node

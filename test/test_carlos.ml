@@ -5,7 +5,7 @@
 
 module Engine = Carlos_sim.Engine
 module Vc = Carlos_dsm.Vc
-module Lrc = Carlos_dsm.Lrc
+module Lrc = Carlos_dsm.Lrc_backend
 module Region = Carlos_vm.Region
 module Shm = Carlos_vm.Shm
 module Annotation = Carlos.Annotation
@@ -709,9 +709,9 @@ let random_program_gen =
 let run_random_program rp =
   let strategy =
     match rp.rp_strategy with
-    | 0 -> Carlos_dsm.Lrc.Invalidate
-    | 1 -> Carlos_dsm.Lrc.Update
-    | _ -> Carlos_dsm.Lrc.Hybrid_update
+    | 0 -> Carlos_dsm.Lrc_backend.Invalidate
+    | 1 -> Carlos_dsm.Lrc_backend.Update
+    | _ -> Carlos_dsm.Lrc_backend.Hybrid_update
   in
   let costs =
     match rp.rp_costs with

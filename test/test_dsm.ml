@@ -12,7 +12,7 @@ module Shm = Carlos_vm.Shm
 module Vc = Carlos_dsm.Vc
 module Interval = Carlos_dsm.Interval
 module Cost = Carlos_dsm.Cost
-module Lrc = Carlos_dsm.Lrc
+module Lrc = Carlos_dsm.Lrc_backend
 
 type cluster = {
   region : Region.t;
@@ -583,6 +583,155 @@ let test_batch_fetch_disabled_still_correct () =
   Alcotest.(check bool) "requests were issued" true
     ((Lrc.stats c.lrcs.(1)).Lrc.diff_requests > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Cross-backend conformance: the same application, same seed, at 4
+   nodes must produce identical application-level results on all three
+   consistency models, with each model's auditor invariants clean. *)
+
+module System = Carlos.System
+module Backend = Carlos_dsm.Backend
+module Audit = Carlos_audit.Audit
+module Seq = Carlos_dsm.Seq_backend
+module Grid = Carlos_apps.Grid
+module Tsp = Carlos_apps.Tsp
+
+let audited_run backend mk =
+  let sys = System.create ~audit:true backend in
+  let result = mk sys in
+  let audit = Option.get (System.auditor sys) in
+  Alcotest.(check int)
+    (Carlos_dsm.Backend.kind_to_string backend.System.backend
+    ^ " audit clean")
+    0
+    (Audit.violation_count audit);
+  result
+
+let test_conformance_grid () =
+  let results =
+    List.map
+      (fun backend ->
+        let cfg =
+          { (Grid.config ~nodes:4 Grid.default_params) with System.backend }
+        in
+        audited_run cfg (fun sys ->
+            let r = Grid.run sys Grid.Hybrid Grid.default_params in
+            Alcotest.(check bool)
+              (Backend.kind_to_string backend ^ " grid exact")
+              true r.Grid.exact;
+            r.Grid.checksum))
+      Backend.all_kinds
+  in
+  match results with
+  | lrc :: rest ->
+    List.iter
+      (fun checksum ->
+        Alcotest.(check (float 0.0)) "identical checksum" lrc checksum)
+      rest
+  | [] -> Alcotest.fail "no backends"
+
+let test_conformance_tsp () =
+  let reference = Tsp.solve_reference Tsp.default_params in
+  let results =
+    List.map
+      (fun backend ->
+        let cfg = { (System.default_config ~nodes:4) with System.backend } in
+        audited_run cfg (fun sys ->
+            let r = Tsp.run sys Tsp.Lock Tsp.default_params in
+            r.Tsp.best))
+      Backend.all_kinds
+  in
+  List.iter
+    (fun best -> Alcotest.(check int) "optimal tour" reference best)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Sequencer CAS, exercised through a direct-call cluster (no simulated
+   network): success and failure paths, total-order stamping, replica
+   convergence including the origin. *)
+
+type seq_cluster = { sregion : Region.t; sshms : Shm.t array; seqs : Seq.t array }
+
+let make_seq_cluster n =
+  let sregion =
+    Region.create ~page_size:256 ~private_bytes:256 ~noncoherent_bytes:256
+      ~coherent_pages:8 ()
+  in
+  let noncoherent = Bytes.make 256 '\000' in
+  let sshms =
+    Array.init n (fun _ -> Shm.create ~region:sregion ~noncoherent ())
+  in
+  let charge _ = () in
+  let seqs =
+    Array.init n (fun me ->
+        Seq.create ~nodes:n ~me ~sequencer:0
+          ~page_table:(Shm.page_table sshms.(me))
+          ~costs:Cost.default ~charge ())
+  in
+  (* Direct-call wiring: the sequencer's pushes apply synchronously at
+     each replica before the RPC "reply" returns, which models the
+     shared-FIFO-channel guarantee of the full system. *)
+  Seq.set_push seqs.(0) (fun ~dst entries -> Seq.apply_push seqs.(dst) entries);
+  Array.iteri
+    (fun me s ->
+      if me <> 0 then
+        Seq.set_transport s
+          {
+            Seq.sequence =
+              (fun diffs -> Seq.serve_sequence seqs.(0) ~origin:me diffs);
+            cas =
+              (fun ~page ~offset ~expected ~desired ->
+                Seq.serve_cas seqs.(0) ~origin:me ~page ~offset ~expected
+                  ~desired);
+          })
+    seqs;
+  { sregion; sshms; seqs }
+
+let test_seq_cas () =
+  let c = make_seq_cluster 3 in
+  let addr = Region.coherent_addr c.sregion ~page:0 ~offset:0 in
+  (* Fresh pages are zero-filled: CAS 0 -> 7 from node 1 succeeds. *)
+  let ok, observed =
+    Seq.cas c.seqs.(1) ~page:0 ~offset:0 ~expected:0 ~desired:7
+  in
+  Alcotest.(check bool) "first cas succeeds" true ok;
+  Alcotest.(check int) "observed initial value" 0 observed;
+  (* A stale-expectation CAS from node 2 fails and reports the winner. *)
+  let ok, observed =
+    Seq.cas c.seqs.(2) ~page:0 ~offset:0 ~expected:0 ~desired:9
+  in
+  Alcotest.(check bool) "stale cas fails" false ok;
+  Alcotest.(check int) "failure observes winner" 7 observed;
+  (* Every replica — sequencer, origin, and bystander — converged. *)
+  Array.iteri
+    (fun node shm ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d sees winner" node)
+        7 (Shm.read_i64 shm addr))
+    c.sshms;
+  (* Retry with the observed value succeeds; all replicas follow. *)
+  let ok, observed =
+    Seq.cas c.seqs.(2) ~page:0 ~offset:0 ~expected:7 ~desired:9
+  in
+  Alcotest.(check bool) "retry succeeds" true ok;
+  Alcotest.(check int) "retry observes prior" 7 observed;
+  Array.iter
+    (fun shm -> Alcotest.(check int) "converged" 9 (Shm.read_i64 shm addr))
+    c.sshms;
+  (* Stamps were issued in one contiguous total order everywhere; the
+     failed CAS took no stamp. *)
+  Array.iter
+    (fun s -> Alcotest.(check int) "applied_seq" 2 (Seq.applied_seq s))
+    c.seqs
+
+let test_seq_cas_at_sequencer () =
+  let c = make_seq_cluster 2 in
+  let addr = Region.coherent_addr c.sregion ~page:0 ~offset:8 in
+  let ok, _ = Seq.cas c.seqs.(0) ~page:0 ~offset:8 ~expected:0 ~desired:42 in
+  Alcotest.(check bool) "sequencer-local cas succeeds" true ok;
+  Array.iter
+    (fun shm -> Alcotest.(check int) "pushed to replica" 42 (Shm.read_i64 shm addr))
+    c.sshms
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -659,6 +808,19 @@ let () =
             test_diff_cache_disabled;
           Alcotest.test_case "batch fetch disabled still correct" `Quick
             test_batch_fetch_disabled_still_correct;
+        ] );
+      ( "conformance",
+        [
+          Alcotest.test_case "grid identical across backends" `Quick
+            test_conformance_grid;
+          Alcotest.test_case "tsp identical across backends" `Quick
+            test_conformance_tsp;
+        ] );
+      ( "seq-cas",
+        [
+          Alcotest.test_case "total order + convergence" `Quick test_seq_cas;
+          Alcotest.test_case "sequencer-local cas" `Quick
+            test_seq_cas_at_sequencer;
         ] );
       ( "lrc-properties",
         qcheck [ prop_lock_chain_counter; prop_false_sharing_slots ] );
