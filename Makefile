@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check audit bench-smoke clean
+.PHONY: all build test fmt check audit bench-smoke bench-diff clean
 
 all: build
 
@@ -30,12 +30,21 @@ audit: build
 	  done; \
 	done
 
-# Regenerate BENCH_PR6.json (backend x app x variant rows for the
-# 4-node matrix, plus the LRC legacy arm) and run the audited matrix.
-# Fails on any app-level check or audit violation.
+# Regenerate BENCH_PR7.json (backend x app x variant gate rows with
+# per-component wire bytes, plus the node-count scaling sweep and
+# fitted growth exponents) and run the audited matrix.  Fails on any
+# app-level check, conservation miss or audit violation.
 bench-smoke: build
-	dune exec bench/main.exe -- json
+	dune exec bench/main.exe -- json scaling
 	$(MAKE) audit
+
+# Standing perf gate: fresh gate rows plus a 16-node scaling smoke,
+# compared against the committed BENCH_PR6.json LRC rows within 2% on
+# messages and wire bytes.  Exits non-zero on regression or a lost row.
+bench-diff: build
+	dune exec bench/main.exe -- json scaling -n 16 -o BENCH_GATE.json
+	dune exec bin/bench_diff.exe -- BENCH_PR6.json BENCH_GATE.json \
+	  --only backend=lrc --fields messages,wire_bytes --tolerance 2
 
 clean:
 	dune clean

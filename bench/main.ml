@@ -402,16 +402,76 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable snapshot ([-o FILE], default BENCH_PR6.json):
-   per-app wall clock, message and wire totals for the 4-node
-   backend x app x variant matrix, generated from the three lists below
-   rather than copy-pasted rows.  The LRC backend additionally runs in
+(* Machine-readable snapshot ([-o FILE], default BENCH_PR7.json):
+   per-app wall clock, message/wire totals and the per-component
+   wire-byte breakdown ({!Carlos_obs.Cost}) for the 4-node
+   backend x app x variant matrix ([json]), plus a node-count sweep at
+   reduced application scale with fitted per-component growth exponents
+   ([scaling]).  The LRC backend additionally runs the gate matrix in
    both protocol configs — "legacy" (per-frame acks, serial unbatched
    fetching) and "batched" — to stay comparable with BENCH_PR3.json; the
-   other backends have no unbatched arm.  Format documented in
-   EXPERIMENTS.md. *)
+   other backends have no unbatched arm.  Every measured run is checked
+   for wire-byte conservation (components must sum exactly to
+   medium.bytes + datagram.dropped_bytes).  Both benches accumulate
+   into the same snapshot file, written once after all requested
+   benches ran.  Format documented in EXPERIMENTS.md; compare snapshots
+   with bin/bench_diff.exe. *)
 
-let output_file = ref "BENCH_PR6.json"
+module Obs = Carlos_obs.Obs
+module Wire_cost = Carlos_obs.Cost
+module Bench_report = Carlos_report.Bench_report
+
+let output_file = ref "BENCH_PR7.json"
+
+let scaling_nodes = ref [ 4; 8; 16; 32 ]
+
+let json_runs = ref [] (* formatted row strings, newest first *)
+
+let scaling_rows = ref []
+
+(* (app, backend, nodes, (metric, value) list) per scaling row, for the
+   growth-exponent fits. *)
+let scaling_samples = ref []
+
+let snapshot_failed = ref []
+
+(* Run one configuration, append its row to [dest], and return the
+   row's numeric metrics (used by the scaling fits). *)
+let measure ~dest ~nodes ~app ~variant ~backend ~mode f =
+  let host0 = Sys.time () in
+  let sys, report, ok = f () in
+  let name = Printf.sprintf "%s/%s/%s/%s/n%d" app variant backend mode nodes in
+  if not ok then snapshot_failed := name :: !snapshot_failed;
+  let host = Sys.time () -. host0 in
+  let obs = System.obs sys in
+  let c cname = Obs.counter_value obs ~node:Obs.global_node ~layer:Obs.Net cname in
+  if not (Wire_cost.conserved obs) then
+    snapshot_failed :=
+      Printf.sprintf "%s: cost conservation (components %d <> wire %d)" name
+        (Wire_cost.total obs) (Wire_cost.wire_total obs)
+      :: !snapshot_failed;
+  let components = Wire_cost.breakdown obs in
+  let components_json =
+    String.concat ", "
+      (List.map
+         (fun (comp, v) -> Printf.sprintf "%S: %d" (Wire_cost.name comp) v)
+         components)
+  in
+  dest :=
+    Printf.sprintf
+      {|    { "app": %S, "variant": %S, "backend": %S, "config": %S, "nodes": %d, "wall_s": %.6f, "messages": %d, "bytes": %d, "frames": %d, "wire_bytes": %d, "acks": %d, "acks_coalesced": %d, "diff_requests": %d, "components": { %s }, "ok": %b, "host_s": %.3f }|}
+      app variant backend mode nodes report.System.wall report.System.messages
+      report.System.message_bytes (c "medium.frames") (c "medium.bytes")
+      (c "sw.acks") (c "sw.acks_coalesced") report.System.diff_requests
+      components_json ok host
+    :: !dest;
+  ("messages", float_of_int report.System.messages)
+  :: ("wire_bytes", float_of_int (c "medium.bytes"))
+  :: ("wall_s", report.System.wall)
+  :: List.map
+       (fun (comp, v) ->
+         ("components." ^ Wire_cost.name comp, float_of_int v))
+       components
 
 type json_app = {
   ja_name : string;
@@ -420,30 +480,7 @@ type json_app = {
 }
 
 let bench_json () =
-  let module Obs = Carlos_obs.Obs in
   let nodes = 4 in
-  let runs = ref [] in
-  let failed = ref [] in
-  let measure ~app ~variant ~backend ~mode f =
-    let host0 = Sys.time () in
-    let sys, report, ok = f () in
-    if not ok then
-      failed :=
-        Printf.sprintf "%s/%s/%s/%s" app variant backend mode :: !failed;
-    let host = Sys.time () -. host0 in
-    let c name =
-      Obs.counter_value (System.obs sys) ~node:Obs.global_node ~layer:Obs.Net
-        name
-    in
-    runs :=
-      Printf.sprintf
-        {|    { "app": %S, "variant": %S, "backend": %S, "config": %S, "nodes": %d, "wall_s": %.6f, "messages": %d, "bytes": %d, "frames": %d, "wire_bytes": %d, "acks": %d, "acks_coalesced": %d, "diff_requests": %d, "ok": %b, "host_s": %.3f }|}
-        app variant backend mode nodes report.System.wall
-        report.System.messages report.System.message_bytes (c "medium.frames")
-        (c "medium.bytes") (c "sw.acks") (c "sw.acks_coalesced")
-        report.System.diff_requests ok host
-      :: !runs
-  in
   let reference = Tsp.solve_reference Tsp.default_params in
   let apps =
     [
@@ -511,26 +548,134 @@ let bench_json () =
             (fun ja ->
               List.iter
                 (fun (vname, run) ->
-                  measure ~app:ja.ja_name ~variant:vname
-                    ~backend:(Backend.kind_to_string backend) ~mode (fun () ->
-                      let cfg =
-                        { (tweak (ja.ja_config nodes)) with System.backend }
-                      in
-                      let sys = System.create cfg in
-                      let report, ok = run sys in
-                      (sys, report, ok)))
+                  ignore
+                    (measure ~dest:json_runs ~nodes ~app:ja.ja_name
+                       ~variant:vname
+                       ~backend:(Backend.kind_to_string backend) ~mode
+                       (fun () ->
+                         let cfg =
+                           { (tweak (ja.ja_config nodes)) with System.backend }
+                         in
+                         let sys = System.create cfg in
+                         let report, ok = run sys in
+                         (sys, report, ok))))
                 ja.ja_variants)
             apps)
         modes)
     Backend.all_kinds;
-  let oc = open_out !output_file in
-  Printf.fprintf oc "{\n  \"nodes\": %d,\n  \"runs\": [\n%s\n  ]\n}\n" nodes
-    (String.concat ",\n" (List.rev !runs));
-  close_out oc;
-  Format.fprintf ppf "wrote %s (%d runs)@." !output_file (List.length !runs);
-  if !failed <> [] then begin
-    Format.fprintf ppf "FAILED app-level checks: %s@."
-      (String.concat ", " (List.rev !failed));
+  Format.fprintf ppf "json: %d gate rows measured@." (List.length !json_runs)
+
+(* ------------------------------------------------------------------ *)
+(* Scaling sweep: grid and tsp at reduced scale on every backend across
+   [!scaling_nodes] (default 4/8/16/32, override with [-n LIST]).  Each
+   row lands in the snapshot's "scaling" array with the same shape as
+   the gate rows; per-(app, backend) growth exponents of every byte
+   component are fitted on log-log and written to "fits". *)
+
+let bench_scaling () =
+  section "Scaling sweep: per-component wire bytes vs node count";
+  let grid_p = { Grid.default_params with Grid.size = 48; iterations = 8 } in
+  let tsp_p = { Tsp.default_params with Tsp.cities = 12; prefix_depth = 3 } in
+  let tsp_ref = Tsp.solve_reference tsp_p in
+  let apps =
+    [
+      ( "grid",
+        "lock",
+        (fun nodes -> Grid.config ~nodes grid_p),
+        fun sys ->
+          let r = Grid.run sys Grid.Barrier grid_p in
+          (r.Grid.report, r.Grid.exact) );
+      ( "tsp",
+        "lock",
+        (fun nodes -> System.default_config ~nodes),
+        fun sys ->
+          let r = Tsp.run sys Tsp.Lock tsp_p in
+          (r.Tsp.report, r.Tsp.best = tsp_ref) );
+    ]
+  in
+  List.iter
+    (fun (app, vname, config, run) ->
+      List.iter
+        (fun backend ->
+          let bname = Backend.kind_to_string backend in
+          List.iter
+            (fun nodes ->
+              let metrics =
+                measure ~dest:scaling_rows ~nodes ~app ~variant:vname
+                  ~backend:bname ~mode:"scaling" (fun () ->
+                    let cfg = { (config nodes) with System.backend } in
+                    let sys = System.create cfg in
+                    let report, ok = run sys in
+                    (sys, report, ok))
+              in
+              scaling_samples := (app, bname, nodes, metrics) :: !scaling_samples;
+              Format.fprintf ppf "  %-5s@%-8s n=%-3d %10.0f wire bytes@." app
+                bname nodes
+                (Option.value ~default:0.0
+                   (List.assoc_opt "wire_bytes" metrics)))
+            !scaling_nodes)
+        Backend.all_kinds)
+    apps
+
+(* Fit y = a * n^b per (app, backend, metric) over the sweep; rendered
+   into the snapshot's "fits" array. *)
+let fits_json () =
+  let groups =
+    List.sort_uniq Stdlib.compare
+      (List.map (fun (app, b, _, _) -> (app, b)) !scaling_samples)
+  in
+  let fit_metrics =
+    [ "messages"; "wire_bytes" ]
+    @ List.map (fun c -> "components." ^ Wire_cost.name c) Wire_cost.all
+  in
+  List.concat_map
+    (fun (app, b) ->
+      List.filter_map
+        (fun metric ->
+          let points =
+            List.filter_map
+              (fun (app', b', nodes, metrics) ->
+                if app' = app && b' = b then
+                  Option.map
+                    (fun v -> (float_of_int nodes, v))
+                    (List.assoc_opt metric metrics)
+                else None)
+              !scaling_samples
+          in
+          Option.map
+            (fun e ->
+              Printf.sprintf
+                {|    { "app": %S, "backend": %S, "metric": %S, "exponent": %.4f }|}
+                app b metric e)
+            (Bench_report.fit_exponent points))
+        fit_metrics)
+    groups
+
+(* Write the combined snapshot once, after every requested bench ran. *)
+let write_snapshot () =
+  if !json_runs <> [] || !scaling_rows <> [] then begin
+    let arr rows =
+      match rows with
+      | [] -> "[]"
+      | _ -> "[\n" ^ String.concat ",\n" (List.rev rows) ^ "\n  ]"
+    in
+    let oc = open_out !output_file in
+    Printf.fprintf oc
+      "{\n\
+      \  \"nodes\": 4,\n\
+      \  \"runs\": %s,\n\
+      \  \"scaling\": %s,\n\
+      \  \"fits\": %s\n\
+       }\n"
+      (arr !json_runs) (arr !scaling_rows) (arr (fits_json ()));
+    close_out oc;
+    Format.fprintf ppf "wrote %s (%d gate rows, %d scaling rows)@."
+      !output_file (List.length !json_runs)
+      (List.length !scaling_rows)
+  end;
+  if !snapshot_failed <> [] then begin
+    Format.fprintf ppf "FAILED checks: %s@."
+      (String.concat ", " (List.rev !snapshot_failed));
     Format.pp_print_flush ppf ();
     exit 1
   end
@@ -554,22 +699,35 @@ let () =
       ("grid", grid);
       ("micro", micro);
       ("json", bench_json);
+      ("scaling", bench_scaling);
     ]
   in
-  (* Pull "-o FILE" (snapshot destination for the json bench) out of the
-     argument list before dispatching bench names. *)
-  let rec strip_output = function
+  (* Pull "-o FILE" (snapshot destination) and "-n LIST" (scaling node
+     counts, e.g. "-n 4,8,16,32") out of the argument list before
+     dispatching bench names. *)
+  let rec strip_flags = function
     | "-o" :: file :: rest ->
       output_file := file;
-      strip_output rest
-    | [ "-o" ] ->
-      Format.fprintf ppf "-o requires a file argument@.";
+      strip_flags rest
+    | "-n" :: list :: rest ->
+      (match
+         List.map int_of_string_opt (String.split_on_char ',' list)
+       with
+      | counts when List.for_all Option.is_some counts && counts <> [] ->
+        scaling_nodes := List.map Option.get counts
+      | _ ->
+        Format.fprintf ppf "-n requires a comma-separated node-count list@.";
+        Format.pp_print_flush ppf ();
+        exit 2);
+      strip_flags rest
+    | [ ("-o" | "-n") ] ->
+      Format.fprintf ppf "-o and -n require an argument@.";
       Format.pp_print_flush ppf ();
       exit 2
-    | arg :: rest -> arg :: strip_output rest
+    | arg :: rest -> arg :: strip_flags rest
     | [] -> []
   in
-  let args = strip_output (List.tl (Array.to_list Sys.argv)) in
+  let args = strip_flags (List.tl (Array.to_list Sys.argv)) in
   (match args with
   | [] -> List.iter (fun f -> f ()) all
   | names ->
@@ -581,4 +739,5 @@ let () =
           Format.fprintf ppf "unknown bench %s (have: %s)@." name
             (String.concat ", " (List.map fst named)))
       names);
+  write_snapshot ();
   Format.pp_print_flush ppf ()

@@ -18,6 +18,7 @@ module Qsort = Carlos_apps.Qsort
 module Water = Carlos_apps.Water
 module Grid = Carlos_apps.Grid
 module Harness = Carlos_apps.Harness
+module Profile = Carlos_obs.Profile
 
 open Cmdliner
 
@@ -34,6 +35,7 @@ type opts = {
   audit : bool;
   causal : bool;
   no_batch : bool;
+  profile : bool;
 }
 
 let nodes_arg =
@@ -108,6 +110,16 @@ let causal_arg =
   in
   Arg.(value & flag & info [ "causal-report" ] ~doc)
 
+let profile_arg =
+  let doc =
+    "Profile the engine hot path in host (wall-clock) time and print the \
+     per-category table after the run.  With --metrics-json the profile is \
+     appended as $(b,\"type\":\"profile\") lines; with --trace the aggregate \
+     appears as slices on the host-profile pseudo-process.  Host times are \
+     nondeterministic and never enter the metrics registry proper."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 let no_batch_arg =
   let doc =
     "Run the legacy unbatched protocol: one diff request per missing \
@@ -118,14 +130,14 @@ let no_batch_arg =
 
 let opts_term =
   let mk nodes variant backend costs seed breakdown trace_file metrics
-      metrics_json audit causal no_batch =
+      metrics_json audit causal no_batch profile =
     { nodes; variant; backend; costs; seed; breakdown; trace_file; metrics;
-      metrics_json; audit; causal; no_batch }
+      metrics_json; audit; causal; no_batch; profile }
   in
   Term.(
     const mk $ nodes_arg $ variant_arg $ backend_arg $ costs_arg $ seed_arg
     $ breakdown_arg $ trace_arg $ metrics_arg $ metrics_json_arg $ audit_arg
-    $ causal_arg $ no_batch_arg)
+    $ causal_arg $ no_batch_arg $ profile_arg)
 
 let costs_of_string = function
   | "default" -> Ok Cost.default
@@ -163,9 +175,11 @@ let finish ~opts ~sys ~label ~ok report =
     Harness.pp_breakdown Format.std_formatter [ (label, report) ];
   let obs = System.obs sys in
   try
+    if opts.profile then Profile.set_enabled false;
     (match opts.trace_file with
     | None -> ()
     | Some file ->
+      if opts.profile then Profile.to_obs obs;
       with_file file (fun ppf -> Obs.pp_chrome_trace ppf obs);
       Format.printf "trace: %d events -> %s@." (List.length (Obs.events obs))
         file);
@@ -173,10 +187,16 @@ let finish ~opts ~sys ~label ~ok report =
     (match opts.metrics_json with
     | None -> ()
     | Some file ->
-      with_file file (fun ppf -> Obs.pp_metrics_jsonl ppf (Lazy.force snap)));
+      with_file file (fun ppf ->
+          Obs.pp_metrics_jsonl ppf (Lazy.force snap);
+          if opts.profile then Profile.pp_jsonl ppf ()));
     if opts.metrics then begin
       Format.printf "metrics:@.";
       Obs.pp_metrics Format.std_formatter (Lazy.force snap)
+    end;
+    if opts.profile then begin
+      Format.printf "host profile:@.";
+      Profile.pp Format.std_formatter ()
     end;
     if opts.causal then begin
       Format.printf "causal report:@.";
@@ -199,6 +219,10 @@ let make_system ~opts ~backend cfg =
   let cfg = if opts.no_batch then System.legacy_config cfg else cfg in
   let sys = System.create ~audit:opts.audit cfg in
   if opts.trace_file <> None || opts.causal then System.set_tracing sys true;
+  if opts.profile then begin
+    Profile.reset ();
+    Profile.set_enabled true
+  end;
   sys
 
 let run_tsp opts =

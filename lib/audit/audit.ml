@@ -107,6 +107,17 @@ let violate t ~check ~node ?trace_id detail =
          | None -> [])
       @ [ ("detail", Obs.Str detail) ])
 
+(* End-of-run wire-byte conservation: the cost-taxonomy component
+   counters must jointly account for every byte the medium carried plus
+   every byte lost to datagram drops (see Carlos_obs.Cost). *)
+let check_conservation t =
+  let total = Carlos_obs.Cost.total t.obs in
+  let wire = Carlos_obs.Cost.wire_total t.obs in
+  if total <> wire then
+    violate t ~check:"cost-conservation" ~node:Obs.global_node
+      (Printf.sprintf "component bytes %d <> wire bytes %d (delta %d)" total
+         wire (total - wire))
+
 let pp_violation ppf v =
   Format.fprintf ppf "[%s] n%d t=%.6f%s: %s" v.check v.node v.time
     (match v.trace_id with

@@ -72,6 +72,13 @@ val pp_violation : Format.formatter -> violation -> unit
     Prints ["audit: ok (0 violations)"] when clean. *)
 val pp_report : Format.formatter -> t -> unit
 
+(** End-of-run wire-byte conservation check: records a
+    ["cost-conservation"] violation unless the {!Carlos_obs.Cost}
+    component counters sum exactly to
+    [medium.bytes + datagram.dropped_bytes].  Called by [System.run]
+    after the engine drains. *)
+val check_conservation : t -> unit
+
 (** {1 Message-layer hooks (called by [Carlos.Node])} *)
 
 (** First transmission of a message (not forwarding hops).  [vc] is the

@@ -57,7 +57,7 @@ let fall t manager_node =
     (fun a ->
       if a.client = t.manager then Ivar.fill a.gate ()
       else
-        Node.send manager_node ~dst:a.client ~annotation:Annotation.Release
+        Node.send ~cost:Carlos_obs.Cost.Barrier_proto manager_node ~dst:a.client ~annotation:Annotation.Release
           ~payload_bytes:departure_bytes
           ~handler:(fun _client_node d ->
             Node.accept d;
@@ -85,7 +85,7 @@ let wait t node =
     let annotation =
       if t.transitive then Annotation.Release else Annotation.Release_nt
     in
-    Node.send node ~dst:t.manager ~annotation ~payload_bytes:arrival_bytes
+    Node.send ~cost:Carlos_obs.Cost.Barrier_proto node ~dst:t.manager ~annotation ~payload_bytes:arrival_bytes
       ~handler:(fun manager_node d ->
         Node.store d;
         note_arrival t manager_node { client = me; gate; stored = Some d });

@@ -59,7 +59,7 @@ let grant_bytes = 8
 let grant t node ~requester =
   Obs.event t.obs ~node:(Node.id node) ~layer:Obs.Carlos "lock.handoff"
     ~args:[ ("name", Obs.Str t.name); ("to", Obs.Int requester) ];
-  Node.send node ~dst:requester ~annotation:Annotation.Release
+  Node.send ~cost:Carlos_obs.Cost.Lock_proto node ~dst:requester ~annotation:Annotation.Release
     ~payload_bytes:grant_bytes
     ~handler:(fun here d ->
       Node.accept d;
@@ -89,7 +89,7 @@ let acquire t node =
      previous tail (grant now or chain the requester behind it). *)
   let requested_at = Node.time node in
   let hop = ref `At_manager in
-  Node.send node ~dst:t.manager ~annotation:Annotation.Request
+  Node.send ~cost:Carlos_obs.Cost.Lock_proto node ~dst:t.manager ~annotation:Annotation.Request
     ~payload_bytes:request_bytes
     ~handler:(fun here d ->
       match !hop with

@@ -29,7 +29,7 @@ module Semaphore = struct
     }
 
   let grant t manager_node ~dst =
-    Node.send manager_node ~dst ~annotation:Annotation.Release
+    Node.send ~cost:Carlos_obs.Cost.Lock_proto manager_node ~dst ~annotation:Annotation.Release
       ~payload_bytes:8
       ~handler:(fun here d ->
         Node.accept d;
@@ -43,7 +43,7 @@ module Semaphore = struct
     let gate = Ivar.create () in
     Queue.add gate t.gates.(me);
     let requested_at = Node.time node in
-    Node.send node ~dst:t.manager ~annotation:Annotation.Request
+    Node.send ~cost:Carlos_obs.Cost.Lock_proto node ~dst:t.manager ~annotation:Annotation.Request
       ~payload_bytes:16
       ~handler:(fun manager_node d ->
         Node.accept d;
@@ -59,7 +59,7 @@ module Semaphore = struct
       ~args:[ ("name", Obs.Str t.name); ("wait", Obs.F wait) ]
 
   let signal t node =
-    Node.send node ~dst:t.manager ~annotation:Annotation.Release
+    Node.send ~cost:Carlos_obs.Cost.Lock_proto node ~dst:t.manager ~annotation:Annotation.Release
       ~payload_bytes:8
       ~handler:(fun manager_node d ->
         (* The manager accepts the V, becoming consistent with the
@@ -99,7 +99,7 @@ module Condition = struct
     let gate = Ivar.create () in
     Queue.add gate t.gates.(me);
     (* Register at the manager, then drop the lock. *)
-    Node.send node ~dst:t.manager ~annotation:Annotation.Request
+    Node.send ~cost:Carlos_obs.Cost.Lock_proto node ~dst:t.manager ~annotation:Annotation.Request
       ~payload_bytes:16
       ~handler:(fun _manager_node d ->
         Node.accept d;
@@ -113,7 +113,7 @@ module Condition = struct
        forwarding mechanism: the manager inspects, picks a waiter and
        forwards without accepting, so it stays out of the causal chain. *)
     let hop = ref `At_manager in
-    Node.send node ~dst:t.manager ~annotation:Annotation.Release
+    Node.send ~cost:Carlos_obs.Cost.Lock_proto node ~dst:t.manager ~annotation:Annotation.Release
       ~payload_bytes:8
       ~handler:(fun here d ->
         match !hop with
@@ -133,13 +133,13 @@ module Condition = struct
   let broadcast t node =
     (* Forwarding cannot duplicate a message, so broadcast is
        manager-mediated: accept once, then re-release to every waiter. *)
-    Node.send node ~dst:t.manager ~annotation:Annotation.Release
+    Node.send ~cost:Carlos_obs.Cost.Lock_proto node ~dst:t.manager ~annotation:Annotation.Release
       ~payload_bytes:8
       ~handler:(fun manager_node d ->
         Node.accept d;
         while not (Queue.is_empty t.waiters) do
           let waiter = Queue.pop t.waiters in
-          Node.send manager_node ~dst:waiter ~annotation:Annotation.Release
+          Node.send ~cost:Carlos_obs.Cost.Lock_proto manager_node ~dst:waiter ~annotation:Annotation.Release
             ~payload_bytes:8
             ~handler:(fun here d2 ->
               Node.accept d2;

@@ -9,6 +9,7 @@ module Vc = Carlos_dsm.Vc
 module Interval = Carlos_dsm.Interval
 module Diff = Carlos_vm.Diff
 module Cost = Carlos_dsm.Cost
+module Wire_cost = Carlos_obs.Cost
 module Trace = Carlos_sim.Trace
 module Obs = Carlos_obs.Obs
 module Audit = Carlos_audit.Audit
@@ -62,6 +63,7 @@ type t = {
   mutable transport_send : dst:int -> wire_bytes:int -> wire -> unit;
   mutable safe_point_hook : t -> unit;
   obs : Obs.t;
+  wire_cost : Wire_cost.t;
   mutable pending_compute : float;
   ins : instruments;
   mutable audit : Audit.t option;
@@ -75,6 +77,7 @@ and wire = {
   handler : handler;
   piggyback : Backend.piggyback option; (* RELEASE / RELEASE_NT *)
   sender_vc : Vc.t option; (* REQUEST *)
+  cost : Wire_cost.component; (* taxonomy class of the payload bytes *)
   trace_id : int; (* stable causal trace id, from Obs.next_flow_id *)
   mutable hops : int; (* transmissions so far (0 = not yet sent) *)
 }
@@ -186,6 +189,24 @@ let wire_size message =
     | None -> 0)
   + match message.sender_vc with Some vc -> Vc.size_bytes vc | None -> 0
 
+(* Split one transmission's wire size into taxonomy components (per hop:
+   a forwarded message's bytes cross the wire again).  Together with the
+   sliding-window (acks, retransmits) and datagram (frame headers, drops)
+   attributions this accounts for every wire byte — see Carlos_obs.Cost. *)
+let attribute_wire t message =
+  Wire_cost.add t.wire_cost message.cost message.payload_bytes;
+  Wire_cost.add t.wire_cost Wire_cost.Am_header am_header_bytes;
+  (match message.sender_vc with
+  | Some vc ->
+    Wire_cost.add t.wire_cost Wire_cost.Vc_entries (Vc.size_bytes vc)
+  | None -> ());
+  match message.piggyback with
+  | Some pb ->
+    List.iter
+      (fun (c, n) -> Wire_cost.add t.wire_cost c n)
+      (Backend.piggyback_cost pb)
+  | None -> ()
+
 let count_send t message size =
   Obs.inc t.ins.sent_c;
   Obs.add t.ins.bytes_c size;
@@ -257,13 +278,15 @@ let transmit t ~dst message =
   else begin
     let size = wire_size message in
     count_send t message size;
+    attribute_wire t message;
     trace_send t ~dst message ~duration:t.costs.Cost.send_syscall;
     message.hops <- message.hops + 1;
     charge t Breakdown.Unix t.costs.Cost.send_syscall;
     t.transport_send ~dst ~wire_bytes:size message
   end
 
-let send_internal t ~dst ~lane ~annotation ~payload_bytes ~handler =
+let send_internal ?(cost = Wire_cost.App_payload) t ~dst ~lane ~annotation
+    ~payload_bytes ~handler =
   flush_compute t;
   let piggyback, sender_vc =
     match annotation with
@@ -287,18 +310,19 @@ let send_internal t ~dst ~lane ~annotation ~payload_bytes ~handler =
   in
   let message =
     { origin = t.id; annotation; lane; payload_bytes; handler; piggyback;
-      sender_vc; trace_id = Obs.next_flow_id t.obs; hops = 0 }
+      sender_vc; cost; trace_id = Obs.next_flow_id t.obs; hops = 0 }
   in
   transmit t ~dst message
 
-let send t ~dst ~annotation ~payload_bytes ~handler =
-  send_internal t ~dst ~lane:User_lane ~annotation ~payload_bytes ~handler
+let send ?cost t ~dst ~annotation ~payload_bytes ~handler =
+  send_internal ?cost t ~dst ~lane:User_lane ~annotation ~payload_bytes
+    ~handler
 
 (* One-way system-lane control message: runs at the destination's
    interrupt level with no reply (the sequencer backend's update pushes
    use this). *)
-let post t ~dst ~payload_bytes ~handler =
-  send_internal t ~dst ~lane:System_lane ~annotation:Annotation.None_
+let post ?cost t ~dst ~payload_bytes ~handler =
+  send_internal ?cost t ~dst ~lane:System_lane ~annotation:Annotation.None_
     ~payload_bytes ~handler
 
 (* ------------------------------------------------------------------ *)
@@ -480,15 +504,16 @@ let await t ivar =
   flush_compute t;
   Ivar.read ivar
 
-let rpc t ~dst ~request_bytes ~service ~reply_bytes =
+let rpc ?cost ?reply_cost t ~dst ~request_bytes ~service ~reply_bytes =
   flush_compute t;
   let result = Ivar.create () in
   let me = t.id in
-  send_internal t ~dst ~lane:System_lane ~annotation:Annotation.None_
+  let reply_cost = match reply_cost with Some c -> Some c | None -> cost in
+  send_internal ?cost t ~dst ~lane:System_lane ~annotation:Annotation.None_
     ~payload_bytes:request_bytes ~handler:(fun remote d ->
       accept d;
       let reply = service remote in
-      send_internal remote ~dst:me ~lane:System_lane
+      send_internal ?cost:reply_cost remote ~dst:me ~lane:System_lane
         ~annotation:Annotation.None_
         ~payload_bytes:(reply_bytes reply)
         ~handler:(fun _local d2 ->
@@ -547,6 +572,7 @@ let make ?obs ~id ~nodes ~engine ~shm ~costs ?(backend = Backend.Lrc)
           invalid_arg "Node: transport not installed");
       safe_point_hook = (fun _ -> ());
       obs;
+      wire_cost = Wire_cost.create obs;
       pending_compute = 0.0;
       audit = None;
       ins =

@@ -61,8 +61,13 @@ val costs : t -> Carlos_dsm.Cost.t
 (** [send t ~dst ~annotation ~payload_bytes ~handler] transmits a user
     message.  For [Release]/[Release_nt] the consistency piggyback is
     computed and appended here (closing the current interval); for
-    [Request] the sender's vector timestamp is appended. *)
+    [Request] the sender's vector timestamp is appended.
+
+    [?cost] classifies the payload bytes in the wire-byte taxonomy
+    (default [App_payload]); headers, clocks and piggybacks are
+    attributed automatically — see {!Carlos_obs.Cost}. *)
 val send :
+  ?cost:Carlos_obs.Cost.component ->
   t ->
   dst:int ->
   annotation:Annotation.t ->
@@ -73,7 +78,13 @@ val send :
 (** One-way system-lane control message with no consistency annotation:
     the handler runs at the destination's interrupt level and must not
     block (the sequencer backend's update pushes use this). *)
-val post : t -> dst:int -> payload_bytes:int -> handler:handler -> unit
+val post :
+  ?cost:Carlos_obs.Cost.component ->
+  t ->
+  dst:int ->
+  payload_bytes:int ->
+  handler:handler ->
+  unit
 
 (** {1 Disposition (called from handlers)} *)
 
@@ -123,8 +134,14 @@ val time : t -> float
 (** [rpc t ~dst ~request_bytes ~service ~reply_bytes] performs a blocking
     internal request-reply exchange on the system lane: [service] runs at
     interrupt level on the destination node and must not block;
-    [reply_bytes] sizes the reply message for the wire. *)
+    [reply_bytes] sizes the reply message for the wire.
+
+    [?cost] classifies the request payload in the wire-byte taxonomy
+    (default [App_payload]); [?reply_cost] classifies the reply payload
+    (defaults to [cost]). *)
 val rpc :
+  ?cost:Carlos_obs.Cost.component ->
+  ?reply_cost:Carlos_obs.Cost.component ->
   t ->
   dst:int ->
   request_bytes:int ->

@@ -18,6 +18,7 @@ module Backend = Carlos_dsm.Backend
 module Central = Carlos_dsm.Central_backend
 module Seq = Carlos_dsm.Seq_backend
 module Obs = Carlos_obs.Obs
+module Wire_cost = Carlos_obs.Cost
 module Audit = Carlos_audit.Audit
 
 type config = {
@@ -105,6 +106,12 @@ type gc_state = {
   mutable requested : bool;
 }
 
+(* Per-node sampler for Backend.metadata_pressure: a (virtual-time, bytes)
+   series fed at safe points, throttled so chatty apps don't bloat the
+   metrics export.  Safe points fire at deterministic virtual times, so
+   the series is deterministic. *)
+type pressure_sampler = { series : Obs.series; mutable last : float }
+
 type t = {
   cfg : config;
   engine : Engine.t;
@@ -116,6 +123,7 @@ type t = {
   noncoherent_alloc : Alloc.t;
   rng : Rng.t;
   gc : gc_state;
+  pressure : pressure_sampler array;
   obs : Obs.t;
   audit : Audit.t option;
 }
@@ -215,12 +223,17 @@ let wire_transport t node =
   {
     Lrc.fetch_diffs =
       (fun ~dst req ->
-        Node.rpc node ~dst ~request_bytes:(diff_request_bytes req)
+        Node.rpc node ~dst ~cost:Wire_cost.Diff_payload
+          ~request_bytes:(diff_request_bytes req)
           ~service:(fun remote -> Lrc.serve_diffs (Node.lrc remote) req)
           ~reply_bytes:diff_reply_bytes);
     fetch_intervals =
       (fun ~dst ~have ->
-        Node.rpc node ~dst
+        (* The request body is a vector clock; the reply is interval
+           descriptions (ids + VCs + write notices — billed as the
+           write-notice component, its dominant term). *)
+        Node.rpc node ~dst ~cost:Wire_cost.Vc_entries
+          ~reply_cost:Wire_cost.Write_notices
           ~request_bytes:(8 + (Vc.entry_bytes * t.cfg.nodes))
           ~service:(fun remote ->
             let lrc = Node.lrc remote in
@@ -229,7 +242,7 @@ let wire_transport t node =
           ~reply_bytes:interval_reply_bytes);
     fetch_page =
       (fun ~dst ~page ->
-        Node.rpc node ~dst ~request_bytes:12
+        Node.rpc node ~dst ~cost:Wire_cost.Diff_payload ~request_bytes:12
           ~service:(fun remote -> Lrc.serve_page (Node.lrc remote) ~page)
           ~reply_bytes:(page_reply_bytes t.cfg));
   }
@@ -258,12 +271,13 @@ let central_transport cfg node =
   {
     Central.fetch_page =
       (fun ~page ->
-        Node.rpc node ~dst:home ~request_bytes:12
+        Node.rpc node ~dst:home ~cost:Wire_cost.Diff_payload ~request_bytes:12
           ~service:(fun remote -> Central.serve_page (central_of remote) ~page)
           ~reply_bytes:(fun (_, _) -> 12 + cfg.page_size));
     flush =
       (fun diffs ->
-        Node.rpc node ~dst:home ~request_bytes:(diff_list_bytes diffs)
+        Node.rpc node ~dst:home ~cost:Wire_cost.Diff_payload
+          ~request_bytes:(diff_list_bytes diffs)
           ~service:(fun remote ->
             Central.serve_flush (central_of remote) ~origin:me diffs)
           ~reply_bytes:(fun () -> 8));
@@ -275,13 +289,16 @@ let seq_transport node =
   {
     Seq.sequence =
       (fun diffs ->
-        Node.rpc node ~dst:sequencer ~request_bytes:(diff_list_bytes diffs)
+        Node.rpc node ~dst:sequencer ~cost:Wire_cost.Diff_payload
+          ~request_bytes:(diff_list_bytes diffs)
           ~service:(fun remote ->
             Seq.serve_sequence (seq_of remote) ~origin:me diffs)
           ~reply_bytes:(fun (_ : int) -> 12));
     cas =
       (fun ~page ~offset ~expected ~desired ->
-        Node.rpc node ~dst:sequencer ~request_bytes:32
+        (* CAS is a synchronization primitive: same axis as locks. *)
+        Node.rpc node ~dst:sequencer ~cost:Wire_cost.Lock_proto
+          ~request_bytes:32
           ~service:(fun remote ->
             Seq.serve_cas (seq_of remote) ~origin:me ~page ~offset ~expected
               ~desired)
@@ -292,7 +309,7 @@ let seq_transport node =
    per-pair FIFO of the sliding window turns send order (= stamp order,
    under the sequencer mutex) into apply order at each replica. *)
 let seq_push sequencer_node ~dst entries =
-  Node.post sequencer_node ~dst
+  Node.post sequencer_node ~dst ~cost:Wire_cost.Diff_payload
     ~payload_bytes:(Seq.push_size_bytes entries)
     ~handler:(fun remote d ->
       Node.accept d;
@@ -323,7 +340,7 @@ let run_gc t =
   let arrivals =
     List.map
       (fun i ->
-        Node.rpc coord ~dst:i ~request_bytes:8
+        Node.rpc coord ~dst:i ~cost:Wire_cost.Gc_proto ~request_bytes:8
           ~service:(fun remote ->
             Lrc.make_piggyback (Node.lrc remote) ~receiver:0
               ~nontransitive:true)
@@ -337,12 +354,13 @@ let run_gc t =
     List.map
       (fun i ->
         let done_ = Ivar.create () in
-        Node.send coord ~dst:i ~annotation:Annotation.Release ~payload_bytes:16
+        Node.send coord ~dst:i ~cost:Wire_cost.Gc_proto
+          ~annotation:Annotation.Release ~payload_bytes:16
           ~handler:(fun remote d ->
             Node.accept d;
             Lrc.validate_all (Node.lrc remote);
-            Node.send remote ~dst:0 ~annotation:Annotation.None_
-              ~payload_bytes:8
+            Node.send remote ~dst:0 ~cost:Wire_cost.Gc_proto
+              ~annotation:Annotation.None_ ~payload_bytes:8
               ~handler:(fun _ d2 ->
                 Node.accept d2;
                 Ivar.fill done_ ()));
@@ -356,12 +374,13 @@ let run_gc t =
     List.map
       (fun i ->
         let done_ = Ivar.create () in
-        Node.send coord ~dst:i ~annotation:Annotation.None_ ~payload_bytes:16
+        Node.send coord ~dst:i ~cost:Wire_cost.Gc_proto
+          ~annotation:Annotation.None_ ~payload_bytes:16
           ~handler:(fun remote d ->
             Node.accept d;
             Lrc.discard_before (Node.lrc remote) snapshot;
-            Node.send remote ~dst:0 ~annotation:Annotation.None_
-              ~payload_bytes:8
+            Node.send remote ~dst:0 ~cost:Wire_cost.Gc_proto
+              ~annotation:Annotation.None_ ~payload_bytes:8
               ~handler:(fun _ d2 ->
                 Node.accept d2;
                 Ivar.fill done_ ()));
@@ -380,11 +399,26 @@ let request_gc t =
     Engine.spawn t.engine (fun () -> run_gc t)
   end
 
-(* Safe-point hook installed on every node: ask for a GC when this node's
-   consistency metadata exceeds the threshold.  Only the LRC backend
-   accumulates lazy metadata; the other models report zero pressure and
-   never trigger the rendezvous (which is LRC-specific). *)
+(* Minimum virtual-time spacing between two metadata-pressure samples of
+   one node. *)
+let pressure_interval = 0.25
+
+let sample_pressure ?(force = false) t node =
+  let s = t.pressure.(Node.id node) in
+  let now = Engine.now t.engine in
+  if force || now -. s.last >= pressure_interval then begin
+    s.last <- now;
+    Obs.series_observe s.series ~ts:now
+      (float_of_int (Backend.metadata_pressure (Node.backend node)))
+  end
+
+(* Safe-point hook installed on every node: sample the backend's metadata
+   pressure, and ask for a GC when this node's consistency metadata
+   exceeds the threshold.  Only the LRC backend accumulates lazy
+   metadata; the other models report zero pressure and never trigger the
+   rendezvous (which is LRC-specific). *)
 let safe_point_check t node =
+  sample_pressure t node;
   match (t.cfg.gc_threshold, t.cfg.backend) with
   | Some threshold, Backend.Lrc ->
     if
@@ -454,6 +488,14 @@ let create ?(audit = false) (cfg : config) =
             Obs.counter obs ~node:Obs.global_node ~layer:Obs.Carlos "gc.runs";
           requested = false;
         };
+      pressure =
+        Array.init cfg.nodes (fun id ->
+            {
+              series =
+                Obs.series obs ~node:id ~layer:Obs.Dsm "metadata_pressure";
+              (* Negative sentinel: the first safe point always samples. *)
+              last = -1.0;
+            });
       obs;
       audit = auditor;
     }
@@ -497,6 +539,11 @@ let run t app =
           finished.(Node.id node) <- Some (Engine.now t.engine)))
     t.nodes;
   Engine.run t.engine;
+  (* Close out the telemetry: one final pressure sample per node (so the
+     series always covers the whole run) and the wire-byte conservation
+     invariant, if an auditor is attached. *)
+  Array.iter (fun node -> sample_pressure ~force:true t node) t.nodes;
+  (match t.audit with Some a -> Audit.check_conservation a | None -> ());
   let finish_times =
     Array.mapi
       (fun i f ->

@@ -87,6 +87,11 @@ let piggyback_size_bytes = function
   | Central_pb pb -> Central_backend.piggyback_size_bytes pb
   | Seq_pb pb -> Seq_backend.piggyback_size_bytes pb
 
+let piggyback_cost = function
+  | Lrc_pb pb -> Lrc_backend.piggyback_cost pb
+  | Central_pb pb -> Central_backend.piggyback_cost pb
+  | Seq_pb pb -> Seq_backend.piggyback_cost pb
+
 let request_vc = function
   | Lrc_b b -> lrc_request_vc b
   | Central_b b -> Central_backend.request_vc b

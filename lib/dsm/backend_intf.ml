@@ -79,6 +79,11 @@ module type S = sig
   (** Wire size of the consistency information. *)
   val piggyback_size_bytes : piggyback -> int
 
+  (** Decomposition of {!piggyback_size_bytes} into cost-taxonomy
+      components.  Must sum exactly to the wire size — the conservation
+      invariant (see {!Carlos_obs.Cost}) is checked against it. *)
+  val piggyback_cost : piggyback -> (Carlos_obs.Cost.component * int) list
+
   (** The clock to piggyback on an outgoing REQUEST message, or [None]
       when the model has no use for peer timestamps (the message then
       stays small and the receive path skips the clock charge). *)

@@ -165,6 +165,11 @@ let discard_before _ _ = ()
 
 let piggyback_size_bytes (_ : piggyback) = 4
 
+(* The origin id is ordering metadata: bill it as vc_entries so the
+   cross-model comparison has the centralized model's "logical clock"
+   cost on the same axis as LRC's vector time. *)
+let piggyback_cost (_ : piggyback) = [ (Carlos_obs.Cost.Vc_entries, 4) ]
+
 (* ------------------------------------------------------------------ *)
 (* Home side (interrupt level, non-blocking except CPU charges) *)
 

@@ -91,6 +91,8 @@ val accept : t -> piggyback list -> unit
 
 val piggyback_size_bytes : piggyback -> int
 
+val piggyback_cost : piggyback -> (Carlos_obs.Cost.component * int) list
+
 val request_vc : t -> Vc.t option
 
 val note_peer_vc : t -> peer:int -> Vc.t -> unit

@@ -924,6 +924,46 @@ let piggyback_size_bytes pb =
         acc + 8 + List.fold_left (fun a d -> a + diff_bytes d) 0 ds)
       0 pb.attached_diffs
 
+(* Same decomposition, split by taxonomy component (must stay in lockstep
+   with [piggyback_size_bytes]; the conservation invariant enforces it):
+   vector clocks (the required VC and each interval's VC) are vc_entries,
+   interval ids + write-notice lists + the nontransitive flag are
+   write_notices, attached diffs (with the same aliasing rule) are
+   diff_payload. *)
+let piggyback_cost pb =
+  let billed = ref [] in
+  let diff_bytes d =
+    if List.memq d !billed then 4
+    else begin
+      billed := d :: !billed;
+      Diff.size_bytes d
+    end
+  in
+  let vc_bytes =
+    Vc.size_bytes pb.required_vc
+    + List.fold_left
+        (fun acc (i : Interval.t) -> acc + Vc.size_bytes i.Interval.vc)
+        0 pb.intervals
+  in
+  let wn_bytes =
+    1
+    + List.fold_left
+        (fun acc (i : Interval.t) ->
+          acc + 4 + (4 * List.length i.Interval.write_notices))
+        0 pb.intervals
+  in
+  let diff_payload =
+    List.fold_left
+      (fun acc (_, _, ds) ->
+        acc + 8 + List.fold_left (fun a d -> a + diff_bytes d) 0 ds)
+      0 pb.attached_diffs
+  in
+  [
+    (Carlos_obs.Cost.Vc_entries, vc_bytes);
+    (Carlos_obs.Cost.Write_notices, wn_bytes);
+    (Carlos_obs.Cost.Diff_payload, diff_payload);
+  ]
+
 (* Apply one interval's write notices, preserving local modifications by
    flushing dirty pages to diffs first (the multiple-writer protocol).
    Under the invalidation strategy the named pages become invalid; under

@@ -187,6 +187,10 @@ val accept : t -> piggyback list -> unit
 (** Wire size of the consistency information. *)
 val piggyback_size_bytes : piggyback -> int
 
+(** Component decomposition of {!piggyback_size_bytes} (vector clocks /
+    write notices / attached diffs); sums exactly to the wire size. *)
+val piggyback_cost : piggyback -> (Carlos_obs.Cost.component * int) list
+
 (** {1 Serving remote requests (non-blocking, interrupt level)} *)
 
 (** Answer a diff request from the local store.  When the merged-diff

@@ -156,6 +156,10 @@ let discard_before _ _ = ()
 
 let piggyback_size_bytes (_ : piggyback) = 12
 
+(* origin + upto horizon: the sequencer's ordering metadata, on the same
+   vc_entries axis as LRC's vector clocks. *)
+let piggyback_cost (_ : piggyback) = [ (Carlos_obs.Cost.Vc_entries, 12) ]
+
 let get_transport t =
   match t.transport with
   | Some tr -> tr

@@ -1,5 +1,6 @@
 module Rng = Carlos_sim.Rng
 module Obs = Carlos_obs.Obs
+module Cost = Carlos_obs.Cost
 
 (* 14 (Ethernet) + 20 (IP) + 8 (UDP). *)
 let header_bytes = 42
@@ -10,7 +11,9 @@ type 'a t = {
   rng : Rng.t option;
   sent_c : Obs.counter;
   dropped_c : Obs.counter;
+  dropped_bytes_c : Obs.counter;
   payload_c : Obs.counter;
+  cost : Cost.t;
 }
 
 let create medium ?(loss = 0.0) ?rng () =
@@ -25,7 +28,10 @@ let create medium ?(loss = 0.0) ?rng () =
     rng;
     sent_c = Obs.counter obs ~node:g ~layer:Obs.Net "datagram.sent";
     dropped_c = Obs.counter obs ~node:g ~layer:Obs.Net "datagram.dropped";
+    dropped_bytes_c =
+      Obs.counter obs ~node:g ~layer:Obs.Net "datagram.dropped_bytes";
     payload_c = Obs.counter obs ~node:g ~layer:Obs.Net "datagram.payload_bytes";
+    cost = Cost.create obs;
   }
 
 let obs t = Medium.obs t.medium
@@ -47,12 +53,21 @@ let send t ~src ~dst ~payload_bytes v =
   if payload_bytes < 0 then invalid_arg "Datagram.send: negative size";
   Obs.inc t.sent_c;
   Obs.add t.payload_c payload_bytes;
-  if dropped t then Obs.inc t.dropped_c
-  else
-    Medium.send t.medium ~src ~dst ~size:(payload_bytes + header_bytes) v
+  (* Frame headers are billed for every frame, dropped ones included;
+     dropped frames' full size goes to dropped_bytes so that the cost
+     conservation equation (sum of components = medium.bytes +
+     dropped_bytes) stays exact under loss. *)
+  Cost.add t.cost Cost.Frame_header header_bytes;
+  if dropped t then begin
+    Obs.inc t.dropped_c;
+    Obs.add t.dropped_bytes_c (payload_bytes + header_bytes)
+  end
+  else Medium.send t.medium ~src ~dst ~size:(payload_bytes + header_bytes) v
 
 let datagrams_sent t = Obs.value t.sent_c
 
 let datagrams_dropped t = Obs.value t.dropped_c
+
+let dropped_bytes t = Obs.value t.dropped_bytes_c
 
 let payload_bytes_sent t = Obs.value t.payload_c

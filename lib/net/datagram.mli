@@ -43,4 +43,9 @@ val datagrams_sent : 'a t -> int
 
 val datagrams_dropped : 'a t -> int
 
+(** Total size (payload + header) of frames lost to simulated loss; the
+    correction term of the cost-conservation equation (see
+    {!Carlos_obs.Cost}). *)
+val dropped_bytes : 'a t -> int
+
 val payload_bytes_sent : 'a t -> int

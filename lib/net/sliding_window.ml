@@ -1,5 +1,6 @@
 module Engine = Carlos_sim.Engine
 module Obs = Carlos_obs.Obs
+module Cost = Carlos_obs.Cost
 
 type 'a frame =
   | Data of { seq : int; payload_bytes : int; payload : 'a }
@@ -43,6 +44,7 @@ type 'a t = {
   retransmitted_c : Obs.counter;
   acks_c : Obs.counter;
   acks_coalesced_c : Obs.counter;
+  cost : Cost.t;
 }
 
 let make_connection () =
@@ -68,6 +70,7 @@ let transmit t ~src ~dst ~seq ~payload_bytes payload =
 
 let send_ack t ~src ~dst ~cumulative =
   Obs.inc t.acks_c;
+  Cost.add t.cost Cost.Ack ack_bytes;
   Datagram.send t.datagram ~src ~dst ~payload_bytes:ack_bytes
     (Ack { cumulative })
 
@@ -117,6 +120,9 @@ let rec arm_timer ?(backoff = 1.0) t ~src ~dst =
         (match Queue.peek_opt c.unacked with
         | Some (seq, payload_bytes, payload) ->
           Obs.inc t.retransmitted_c;
+          (* The original send already attributed this payload to its
+             protocol components; the resend is pure retransmission cost. *)
+          Cost.add t.cost Cost.Retransmit payload_bytes;
           transmit t ~src ~dst ~seq ~payload_bytes payload
         | None -> ());
         arm_timer ~backoff:(Float.min 64.0 (2.0 *. backoff)) t ~src ~dst
@@ -253,6 +259,7 @@ let create ?(ack_every = 1) ?(ack_delay = 0.0) engine datagram ~window ~rto =
       acks_c = Obs.counter obs ~node:g ~layer:Obs.Net "sw.acks";
       acks_coalesced_c =
         Obs.counter obs ~node:g ~layer:Obs.Net "sw.acks_coalesced";
+      cost = Cost.create obs;
     }
   in
   for node = 0 to n - 1 do

@@ -21,6 +21,9 @@ let layer_index = function
 
 let global_node = -1
 
+(* Pseudo-process used by Profile.to_obs for host-time slices. *)
+let profile_node = -2
+
 type key = { node : int; layer : layer; name : string }
 
 let compare_key a b =
@@ -121,8 +124,11 @@ module Hist = struct
 
   let bucket_hi s b = Float.min (Float.ldexp 1.0 (b - 40)) s.max
 
+  (* Degenerate snaps have one defined answer: empty (or diffed-to-empty,
+     count <= 0) histograms return 0.0 for every p; a NaN p propagates. *)
   let percentile s p =
-    if s.count = 0 then 0.0
+    if Float.is_nan p then Float.nan
+    else if s.count <= 0 then 0.0
     else if p <= 0.0 then s.min
     else if p >= 100.0 then s.max
     else begin
@@ -158,11 +164,16 @@ type gauge = { mutable g_v : float }
 
 type byte_acc = { mutable b_count : int; mutable b_bytes : int }
 
+(* Time series: explicit (virtual-time, value) samples kept in insertion
+   order (newest first internally). *)
+type series = { mutable s_rev : (float * float) list; mutable s_len : int }
+
 type instrument =
   | I_counter of counter
   | I_gauge of gauge
   | I_bytes of byte_acc
   | I_hist of Hist.t
+  | I_series of series
 
 type arg = Str of string | Int of int | F of float
 
@@ -242,6 +253,22 @@ let histogram t ~node ~layer name =
     Hashtbl.replace t.tbl key (I_hist h);
     h
 
+let series t ~node ~layer name =
+  let key = { node; layer; name } in
+  match Hashtbl.find_opt t.tbl key with
+  | Some (I_series s) -> s
+  | Some _ -> kind_error key
+  | None ->
+    let s = { s_rev = []; s_len = 0 } in
+    Hashtbl.replace t.tbl key (I_series s);
+    s
+
+let series_observe s ~ts v =
+  s.s_rev <- (ts, v) :: s.s_rev;
+  s.s_len <- s.s_len + 1
+
+let series_length s = s.s_len
+
 let inc c = c.c_v <- c.c_v + 1
 
 let add c n = c.c_v <- c.c_v + n
@@ -303,6 +330,9 @@ type value_v =
   | Gauge_v of float
   | Bytes_v of { count : int; bytes : int }
   | Hist_v of Hist.snap
+  | Series_v of (float * float) array
+
+let series_samples (s : series) = Array.of_list (List.rev s.s_rev)
 
 type snapshot = (key * value_v) list (* sorted by compare_key *)
 
@@ -315,6 +345,7 @@ let snapshot t =
         | I_gauge g -> Gauge_v g.g_v
         | I_bytes a -> Bytes_v { count = a.b_count; bytes = a.b_bytes }
         | I_hist h -> Hist_v (Hist.snap h)
+        | I_series s -> Series_v (series_samples s)
       in
       (key, v) :: acc)
     t.tbl []
@@ -337,6 +368,11 @@ let sub_value later earlier =
           Array.init Hist.bucket_count (fun i ->
               a.Hist.buckets.(i) - b.Hist.buckets.(i));
       }
+  | Series_v a, Series_v b ->
+    (* Samples are append-only, so "what happened since" is the suffix. *)
+    let nb = Array.length b in
+    let na = Array.length a in
+    Series_v (if na >= nb then Array.sub a nb (na - nb) else [||])
   | _ -> invalid_arg "Obs.diff: instrument changed kind between snapshots"
 
 let add_value a b =
@@ -346,6 +382,12 @@ let add_value a b =
   | Bytes_v x, Bytes_v y ->
     Bytes_v { count = x.count + y.count; bytes = x.bytes + y.bytes }
   | Hist_v x, Hist_v y -> Hist_v (Hist.merge x y)
+  | Series_v x, Series_v y ->
+    let m = Array.append x y in
+    (* Stable sort by timestamp: interleave two nodes' samples while
+       keeping each node's insertion order within equal timestamps. *)
+    Array.stable_sort (fun (ta, _) (tb, _) -> compare ta tb) m;
+    Series_v m
   | _ -> invalid_arg "Obs.merge: mismatched instrument kinds"
 
 (* Merge two key-sorted association lists with [combine] on collisions. *)
@@ -389,7 +431,10 @@ let reset t =
       | I_bytes a ->
         a.b_count <- 0;
         a.b_bytes <- 0
-      | I_hist h -> Hist.reset h)
+      | I_hist h -> Hist.reset h
+      | I_series s ->
+        s.s_rev <- [];
+        s.s_len <- 0)
     t.tbl;
   t.events_rev <- [];
   t.flow_ids <- 0
@@ -546,7 +591,10 @@ let pp_chrome_trace ppf t =
     (fun n ->
       emit (fun () ->
           metadata_json b ~pid:n
-            ~name:(if n = global_node then "cluster" else Printf.sprintf "node %d" n)))
+            ~name:
+              (if n = global_node then "cluster"
+               else if n = profile_node then "host-profile"
+               else Printf.sprintf "node %d" n)))
     nodes;
   List.iter (fun e -> emit (fun () -> event_json b e)) evs;
   Buffer.add_string b "\n]}\n";
@@ -592,7 +640,21 @@ let pp_metrics_jsonl ppf (snap : snapshot) =
         Buffer.add_string b ",\"max\":";
         json_float b h.Hist.max;
         Buffer.add_string b ",\"mean\":";
-        json_float b (Hist.mean h));
+        json_float b (Hist.mean h)
+      | Series_v samples ->
+        Buffer.add_string b
+          (Printf.sprintf ",\"type\":\"series\",\"count\":%d,\"samples\":["
+             (Array.length samples));
+        Array.iteri
+          (fun i (ts, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '[';
+            json_float b ts;
+            Buffer.add_char b ',';
+            json_float b v;
+            Buffer.add_char b ']')
+          samples;
+        Buffer.add_char b ']');
       Buffer.add_char b '}';
       Format.pp_print_string ppf (Buffer.contents b);
       Format.pp_print_string ppf "\n")
@@ -614,6 +676,13 @@ let pp_metrics ppf (snap : snapshot) =
         Format.fprintf ppf "n=%d mean=%.6f p50=%.6f p95=%.6f" h.Hist.count
           (Hist.mean h)
           (Hist.percentile h 50.0)
-          (Hist.percentile h 95.0));
+          (Hist.percentile h 95.0)
+      | Series_v samples ->
+        let n = Array.length samples in
+        if n = 0 then Format.fprintf ppf "series n=0"
+        else
+          let t0, v0 = samples.(0) and t1, v1 = samples.(n - 1) in
+          Format.fprintf ppf "series n=%d %.3f:%.0f .. %.3f:%.0f" n t0 v0 t1
+            v1);
       Format.fprintf ppf "@.")
     snap

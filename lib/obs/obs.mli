@@ -35,6 +35,10 @@ val layer_name : layer -> string
     datagram service): no single node owns them. *)
 val global_node : int
 
+(** Pseudo-node (-2) under which {!Profile.to_obs} records host-time
+    slices; named "host-profile" in the Chrome trace. *)
+val profile_node : int
+
 type key = { node : int; layer : layer; name : string }
 
 (** Total order used by every exporter and snapshot. *)
@@ -81,7 +85,12 @@ module Hist : sig
       rank [p/100 * count], with the bucket's bounds clamped to the
       observed [\[min, max\]] — so a single-valued histogram answers
       exactly, [percentile s 0. = s.min] and [percentile s 100. = s.max].
-      Returns [0.] when [count = 0]. *)
+
+      Degenerate snaps have one defined answer: if [count <= 0] (the empty
+      histogram, or a {!Obs.diff} that subtracted everything away) the
+      result is [0.] for {e every} [p] — never the [infinity] /
+      [neg_infinity] sentinels stored as the empty extrema.  A NaN [p]
+      returns NaN. *)
   val percentile : snap -> float -> float
 end
 
@@ -110,6 +119,11 @@ type gauge
 
 type byte_acc
 
+(** Explicit (virtual-time, value) sample list, append-only.  Used for
+    quantities whose trajectory over virtual time matters (e.g. backend
+    metadata pressure), not just their final value. *)
+type series
+
 val counter : t -> node:int -> layer:layer -> string -> counter
 
 val gauge : t -> node:int -> layer:layer -> string -> gauge
@@ -117,6 +131,8 @@ val gauge : t -> node:int -> layer:layer -> string -> gauge
 val byte_acc : t -> node:int -> layer:layer -> string -> byte_acc
 
 val histogram : t -> node:int -> layer:layer -> string -> Hist.t
+
+val series : t -> node:int -> layer:layer -> string -> series
 
 val inc : counter -> unit
 
@@ -137,6 +153,13 @@ val acc_count : byte_acc -> int
 
 val acc_total : byte_acc -> int
 
+(** [series_observe s ~ts v] appends one sample.  Timestamps are expected
+    (but not required) to be monotone; {!diff} relies only on
+    append-only-ness. *)
+val series_observe : series -> ts:float -> float -> unit
+
+val series_length : series -> int
+
 (** {1 Queries} *)
 
 (** Current value of a counter registered under the key, or 0. *)
@@ -155,6 +178,8 @@ type value_v =
   | Gauge_v of float
   | Bytes_v of { count : int; bytes : int }
   | Hist_v of Hist.snap
+  | Series_v of (float * float) array
+      (** (virtual-time, value) samples in insertion order *)
 
 (** An immutable, deterministically ordered copy of every instrument. *)
 type snapshot
@@ -164,7 +189,9 @@ val snapshot : t -> snapshot
 (** [diff ~earlier later] subtracts instrument-wise: what happened between
     the two snapshots.  Keys missing from [earlier] pass through.  A
     histogram diff subtracts counts, sums and buckets but keeps the later
-    [min]/[max] (extrema are not invertible). *)
+    [min]/[max] (extrema are not invertible).  A series diff keeps the
+    samples appended after [earlier]; a merge interleaves samples by
+    timestamp (stable). *)
 val diff : earlier:snapshot -> snapshot -> snapshot
 
 (** Instrument-wise sum of two snapshots (cluster-level aggregation). *)

@@ -1,0 +1,128 @@
+(* Host-time (wall-clock) profiler for the engine hot path.
+
+   Numbers here are real seconds measured with [Unix.gettimeofday], not
+   virtual time — they are nondeterministic by nature, so they must NEVER
+   enter the Obs metrics registry (whose exports are required to be
+   byte-identical across identical runs).  The profile is kept in global
+   mutable state, sampled around the engine/resource/vm hot paths, and
+   exported as a separate opt-in section by the drivers.
+
+   Categories nest (an [Event] span encloses the [Fiber_resume] and
+   [Ivar_wakeup] work it triggers, and [Vm_fault] is inclusive of the
+   virtual time the faulting fiber spends suspended), so summing across
+   categories double-counts; compare each category against [Run]. *)
+
+type category =
+  | Run
+  | Event
+  | Heap_push
+  | Heap_pop
+  | Fiber_spawn
+  | Fiber_resume
+  | Ivar_wakeup
+  | Vm_fault
+
+let all =
+  [ Run; Event; Heap_push; Heap_pop; Fiber_spawn; Fiber_resume; Ivar_wakeup;
+    Vm_fault ]
+
+let index = function
+  | Run -> 0
+  | Event -> 1
+  | Heap_push -> 2
+  | Heap_pop -> 3
+  | Fiber_spawn -> 4
+  | Fiber_resume -> 5
+  | Ivar_wakeup -> 6
+  | Vm_fault -> 7
+
+let categories = List.length all
+
+let name = function
+  | Run -> "run"
+  | Event -> "event"
+  | Heap_push -> "heap_push"
+  | Heap_pop -> "heap_pop"
+  | Fiber_spawn -> "fiber_spawn"
+  | Fiber_resume -> "fiber_resume"
+  | Ivar_wakeup -> "ivar_wakeup"
+  | Vm_fault -> "vm_fault"
+
+(* Inclusive categories overlap other spans; don't sum them with anything. *)
+let inclusive = function Vm_fault -> true | _ -> false
+
+let on = ref false
+
+let counts = Array.make categories 0
+
+let times = Array.make categories 0.0
+
+let set_enabled b = on := b
+
+let enabled () = !on
+
+let reset () =
+  Array.fill counts 0 categories 0;
+  Array.fill times 0 categories 0.0
+
+(* Hot path: one branch when disabled, one gettimeofday each side of a
+   span when enabled. *)
+let start () = if !on then Unix.gettimeofday () else 0.0
+
+let stop cat t0 =
+  if !on then begin
+    let i = index cat in
+    counts.(i) <- counts.(i) + 1;
+    times.(i) <- times.(i) +. (Unix.gettimeofday () -. t0)
+  end
+
+let tick cat = if !on then counts.(index cat) <- counts.(index cat) + 1
+
+type sample = { category : string; count : int; seconds : float }
+
+let snapshot () =
+  List.map
+    (fun c ->
+      { category = name c; count = counts.(index c); seconds = times.(index c) })
+    all
+
+let pp ppf () =
+  Format.fprintf ppf "%-14s %10s %12s@." "category" "count" "host(s)";
+  List.iter
+    (fun c ->
+      let i = index c in
+      if counts.(i) > 0 then
+        Format.fprintf ppf "%-14s %10d %12.6f%s@." (name c) counts.(i)
+          times.(i)
+          (if inclusive c then " (inclusive)" else ""))
+    all
+
+(* One JSONL line per category, shaped like (but distinct from) the Obs
+   metrics lines, so --metrics-json consumers can filter on
+   "type":"profile".  Uses %.9g like Obs.json_float; values are real
+   wall-clock seconds and thus nondeterministic. *)
+let pp_jsonl ppf () =
+  List.iter
+    (fun c ->
+      let i = index c in
+      Format.fprintf ppf
+        "{\"node\":%d,\"layer\":\"sim\",\"name\":\"profile.%s\",\"type\":\"profile\",\"count\":%d,\"seconds\":%.9g,\"inclusive\":%b}\n"
+        Obs.profile_node (name c) counts.(i) times.(i) (inclusive c))
+    all
+
+(* Mirror the profile into the trace buffer as Complete slices on the
+   host-profile pseudo-process, laid out sequentially so Perfetto shows
+   one bar per category (lengths are the aggregate host seconds). *)
+let to_obs obs =
+  let t = ref 0.0 in
+  List.iter
+    (fun c ->
+      let i = index c in
+      if times.(i) > 0.0 then begin
+        Obs.complete_at obs ~ts:!t ~duration:times.(i)
+          ~node:Obs.profile_node ~layer:Obs.Sim
+          ("profile." ^ name c)
+          ~args:[ ("count", Obs.Int counts.(i)) ];
+        t := !t +. times.(i)
+      end)
+    all

@@ -1,0 +1,163 @@
+(* Snapshot rows, comparison and log-log fitting; see bench_report.mli. *)
+
+type key = {
+  app : string;
+  variant : string;
+  backend : string;
+  config : string;
+  nodes : int;
+}
+
+type row = { key : key; ok : bool; metrics : (string * float) list }
+
+let pp_key ppf k =
+  Format.fprintf ppf "%s/%s@%s/%s n=%d" k.app k.variant k.backend k.config
+    k.nodes
+
+let str field j = Option.value ~default:"" (Json.to_string_opt (Json.member field j))
+
+let row_of_json j =
+  let key =
+    {
+      app = str "app" j;
+      variant = str "variant" j;
+      backend = str "backend" j;
+      config = str "config" j;
+      nodes = Option.value ~default:0 (Json.to_int_opt (Json.member "nodes" j));
+    }
+  in
+  let ok = Option.value ~default:true (Json.to_bool_opt (Json.member "ok" j)) in
+  let metrics =
+    match j with
+    | Json.Obj fields ->
+      List.concat_map
+        (fun (name, v) ->
+          match v with
+          | Json.Num f when name <> "nodes" -> [ (name, f) ]
+          | Json.Obj nested ->
+            List.filter_map
+              (fun (name', v') ->
+                match v' with
+                | Json.Num f -> Some (name ^ "." ^ name', f)
+                | _ -> None)
+              nested
+          | _ -> [])
+        fields
+    | _ -> []
+  in
+  { key; ok; metrics = List.sort Stdlib.compare metrics }
+
+let rows_of_json j =
+  List.map row_of_json
+    (Json.to_list (Json.member "runs" j)
+    @ Json.to_list (Json.member "scaling" j))
+
+let load file = rows_of_json (Json.parse_file file)
+
+let metric row name = List.assoc_opt name row.metrics
+
+(* ------------------------------------------------------------------ *)
+
+type delta = {
+  d_key : key;
+  d_metric : string;
+  d_old : float;
+  d_new : float;
+  d_pct : float;
+}
+
+type comparison = {
+  compared : int;
+  regressions : delta list;
+  improvements : delta list;
+  missing : key list;
+  added : key list;
+}
+
+let key_attr k = function
+  | "app" -> k.app
+  | "variant" -> k.variant
+  | "backend" -> k.backend
+  | "config" -> k.config
+  | "nodes" -> string_of_int k.nodes
+  | attr -> invalid_arg ("bench_report: unknown row attribute " ^ attr)
+
+let selected only row =
+  List.for_all (fun (attr, v) -> key_attr row.key attr = v) only
+
+let pct_change ~old_v ~new_v =
+  if old_v = 0.0 then if new_v = 0.0 then 0.0 else infinity
+  else (new_v -. old_v) /. old_v *. 100.0
+
+let compare ~fields ~tolerance_pct ~only old_rows new_rows =
+  let old_rows = List.filter (selected only) old_rows in
+  let new_rows = List.filter (selected only) new_rows in
+  let find rows k = List.find_opt (fun r -> r.key = k) rows in
+  let compared = ref 0 in
+  let regressions = ref [] and improvements = ref [] in
+  let missing = ref [] in
+  List.iter
+    (fun o ->
+      match find new_rows o.key with
+      | None -> missing := o.key :: !missing
+      | Some n ->
+        incr compared;
+        List.iter
+          (fun field ->
+            let delta d_old d_new =
+              {
+                d_key = o.key;
+                d_metric = field;
+                d_old;
+                d_new;
+                d_pct = pct_change ~old_v:d_old ~new_v:d_new;
+              }
+            in
+            match (metric o field, metric n field) with
+            | None, None -> ()
+            | Some ov, None -> regressions := delta ov nan :: !regressions
+            | None, Some nv -> regressions := delta nan nv :: !regressions
+            | Some ov, Some nv ->
+              let d = delta ov nv in
+              if d.d_pct > tolerance_pct then
+                regressions := d :: !regressions
+              else if d.d_pct < -.tolerance_pct then
+                improvements := d :: !improvements)
+          fields)
+    old_rows;
+  let added =
+    List.filter_map
+      (fun n -> if find old_rows n.key = None then Some n.key else None)
+      new_rows
+  in
+  {
+    compared = !compared;
+    regressions = List.rev !regressions;
+    improvements = List.rev !improvements;
+    missing = List.rev !missing;
+    added;
+  }
+
+let pp_delta ppf d =
+  Format.fprintf ppf "%a %s: %.9g -> %.9g (%+.2f%%)" pp_key d.d_key d.d_metric
+    d.d_old d.d_new d.d_pct
+
+(* ------------------------------------------------------------------ *)
+
+let fit_exponent points =
+  let pts =
+    List.filter_map
+      (fun (x, y) ->
+        if x > 0.0 && y > 0.0 then Some (log x, log y) else None)
+      points
+  in
+  let xs = List.sort_uniq Stdlib.compare (List.map fst pts) in
+  if List.length xs < 2 then None
+  else
+    let n = float_of_int (List.length pts) in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+    let denom = (n *. sxx) -. (sx *. sx) in
+    if denom = 0.0 then None else Some (((n *. sxy) -. (sx *. sy)) /. denom)

@@ -1,3 +1,5 @@
+module Profile = Carlos_obs.Profile
+
 type t = {
   mutable clock : float;
   queue : (unit -> unit) Heap.t;
@@ -41,7 +43,9 @@ let schedule t ~time thunk =
       (Printf.sprintf "Engine.schedule: time %g is before now %g" time t.clock);
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Heap.add t.queue ~time ~seq thunk
+  let p0 = Profile.start () in
+  Heap.add t.queue ~time ~seq thunk;
+  Profile.stop Profile.Heap_push p0
 
 let at t ~time f = schedule t ~time f
 
@@ -50,6 +54,7 @@ let at t ~time f = schedule t ~time f
    queue so that fibers only ever run from the engine loop. *)
 let rec start_fiber eng f =
   let open Effect.Deep in
+  Profile.tick Profile.Fiber_spawn;
   match_with f ()
     {
       retc = (fun () -> ());
@@ -67,7 +72,10 @@ let rec start_fiber eng f =
                 if dt < 0.0 then
                   discontinue k (Invalid_argument "Engine.delay: negative")
                 else
-                  schedule t ~time:(t.clock +. dt) (fun () -> continue k ()))
+                  schedule t ~time:(t.clock +. dt) (fun () ->
+                      let p0 = Profile.start () in
+                      continue k ();
+                      Profile.stop Profile.Fiber_resume p0))
           | Time -> Some (fun k -> continue k eng.clock)
           | Fork g ->
             Some
@@ -82,7 +90,10 @@ let rec start_fiber eng f =
                   if !resumed then
                     invalid_arg "Engine.suspend: resume invoked twice";
                   resumed := true;
-                  schedule eng ~time:eng.clock (fun () -> continue k ())
+                  schedule eng ~time:eng.clock (fun () ->
+                      let p0 = Profile.start () in
+                      continue k ();
+                      Profile.stop Profile.Fiber_resume p0)
                 in
                 register resume)
           | _ -> None);
@@ -93,7 +104,11 @@ let spawn t f = schedule t ~time:t.clock (fun () -> start_fiber t f)
 let run t =
   let saved = !current in
   current := Some t;
-  let finish () = current := saved in
+  let run0 = Profile.start () in
+  let finish () =
+    Profile.stop Profile.Run run0;
+    current := saved
+  in
   (* After a failure, keep draining events already due at the current
      virtual instant: fibers that failed simultaneously get to record
      their exceptions instead of being silently dropped with the queue.
@@ -112,12 +127,20 @@ let run t =
       | [] -> raise e
       | rest -> raise (Multiple_failures (e :: List.rev rest)))
     | _ -> (
-      match Heap.pop_min t.queue with
+      let p0 = Profile.start () in
+      let next = Heap.pop_min t.queue in
+      Profile.stop Profile.Heap_pop p0;
+      match next with
       | None -> finish ()
       | Some (time, _, thunk) ->
         t.clock <- time;
         t.executed <- t.executed + 1;
+        (* A thunk returns when its fiber suspends (the effect handler
+           captures the continuation), so this span is the exact host
+           time of one event — no virtual-time inclusion. *)
+        let e0 = Profile.start () in
         thunk ();
+        Profile.stop Profile.Event e0;
         loop ())
   in
   loop ()

@@ -10,7 +10,9 @@ module Ivar = struct
     | Full _ -> invalid_arg "Ivar.fill: already filled"
     | Empty waiters ->
       t.state <- Full v;
-      Queue.iter (fun resume -> resume ()) waiters
+      let p0 = Carlos_obs.Profile.start () in
+      Queue.iter (fun resume -> resume ()) waiters;
+      Carlos_obs.Profile.stop Carlos_obs.Profile.Ivar_wakeup p0
 
   let is_filled t = match t.state with Full _ -> true | Empty _ -> false
 

@@ -1,4 +1,5 @@
 module Obs = Carlos_obs.Obs
+module Profile = Carlos_obs.Profile
 
 type t = {
   table : Page.t array;
@@ -52,7 +53,11 @@ let ensure_readable t i =
       if n >= max_fault_retries then
         invalid_arg "Page_table: read fault handler left page invalid";
       Obs.inc t.read_faults_c;
+      (* Inclusive span: the handler may suspend, so this wall-clock
+         extent also covers other fibers run meanwhile (see Profile). *)
+      let p0 = Profile.start () in
       t.on_read_fault i;
+      Profile.stop Profile.Vm_fault p0;
       attempt (n + 1)
   in
   attempt 0
@@ -68,7 +73,9 @@ let ensure_writable t i =
       attempt (n + 1)
     | Page.Read_only ->
       Obs.inc t.write_faults_c;
+      let p0 = Profile.start () in
       t.on_write_fault i;
+      Profile.stop Profile.Vm_fault p0;
       attempt (n + 1)
   in
   attempt 0

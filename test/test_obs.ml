@@ -154,6 +154,77 @@ let test_hist_percentile () =
   Alcotest.(check (float 0.0)) "empty" 0.0
     (Obs.Hist.percentile Obs.Hist.empty 50.0)
 
+(* Degenerate snaps have defined answers: an empty (or negative-count
+   diff) snap is 0 at every percentile, and a NaN percentile propagates
+   — never an infinity sentinel leaking out of the bucket walk. *)
+let test_hist_percentile_degenerate () =
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0)) "empty -> 0" 0.0
+        (Obs.Hist.percentile Obs.Hist.empty p))
+    [ -5.0; 0.0; 50.0; 100.0; 250.0 ];
+  Alcotest.(check bool) "nan p on empty -> nan" true
+    (Float.is_nan (Obs.Hist.percentile Obs.Hist.empty Float.nan));
+  let h = Obs.Hist.create () in
+  Obs.Hist.observe h 3.0;
+  Alcotest.(check bool) "nan p on nonempty -> nan" true
+    (Float.is_nan (Obs.Hist.percentile (Obs.Hist.snap h) Float.nan))
+
+(* ------------------------------------------------------------------ *)
+(* Series: append-only samples, suffix diff, timestamp-sorted merge *)
+
+let series_samples snap ~node name =
+  match snap_value snap ~node ~layer:Obs.Dsm name with
+  | Obs.Series_v a -> Array.to_list a
+  | _ -> Alcotest.fail "expected a series"
+
+let test_series () =
+  let t = Obs.create () in
+  let s = Obs.series t ~node:1 ~layer:Obs.Dsm "metadata_pressure" in
+  Alcotest.(check int) "empty" 0 (Obs.series_length s);
+  Obs.series_observe s ~ts:0.0 1.0;
+  Obs.series_observe s ~ts:0.5 3.0;
+  let early = Obs.snapshot t in
+  Obs.series_observe s ~ts:1.0 2.0;
+  Alcotest.(check int) "length" 3 (Obs.series_length s);
+  let later = Obs.snapshot t in
+  let check_samples msg exp got =
+    Alcotest.(check (list (pair (float 0.0) (float 0.0)))) msg exp got
+  in
+  check_samples "insertion order"
+    [ (0.0, 1.0); (0.5, 3.0); (1.0, 2.0) ]
+    (series_samples later ~node:1 "metadata_pressure");
+  check_samples "diff keeps the suffix"
+    [ (1.0, 2.0) ]
+    (series_samples (Obs.diff ~earlier:early later) ~node:1
+       "metadata_pressure");
+  let t2 = Obs.create () in
+  let s2 = Obs.series t2 ~node:1 ~layer:Obs.Dsm "metadata_pressure" in
+  Obs.series_observe s2 ~ts:0.25 9.0;
+  check_samples "merge interleaves by timestamp"
+    [ (0.0, 1.0); (0.25, 9.0); (0.5, 3.0); (1.0, 2.0) ]
+    (series_samples
+       (Obs.merge_snapshots later (Obs.snapshot t2))
+       ~node:1 "metadata_pressure")
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_series_jsonl () =
+  let t = Obs.create () in
+  let s = Obs.series t ~node:0 ~layer:Obs.Dsm "metadata_pressure" in
+  Obs.series_observe s ~ts:0.25 4.0;
+  Obs.series_observe s ~ts:1.0 7.0;
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Obs.pp_metrics_jsonl ppf (Obs.snapshot t);
+  Format.pp_print_flush ppf ();
+  Alcotest.(check bool) "samples array present" true
+    (contains ~sub:{|"type":"series","count":2,"samples":[[0.25,4],[1,7]]|}
+       (Buffer.contents buf))
+
 (* Generator of histogram snapshots with small integer-valued observations:
    the merge's float sums are then exact, so associativity is exact too. *)
 let hist_gen =
@@ -371,6 +442,8 @@ let () =
       ( "histograms",
         Alcotest.test_case "basics" `Quick test_hist_basics
         :: Alcotest.test_case "percentile" `Quick test_hist_percentile
+        :: Alcotest.test_case "percentile degenerate" `Quick
+             test_hist_percentile_degenerate
         :: qcheck
              [
                prop_hist_merge_commutative;
@@ -378,6 +451,11 @@ let () =
                prop_hist_merge_identity;
                prop_hist_percentile_monotone;
              ] );
+      ( "series",
+        [
+          Alcotest.test_case "observe/diff/merge" `Quick test_series;
+          Alcotest.test_case "jsonl shape" `Quick test_series_jsonl;
+        ] );
       ( "tracing",
         [
           Alcotest.test_case "off by default" `Quick
