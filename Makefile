@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check audit bench-smoke bench-diff clean
+.PHONY: all build test fmt check audit bench-smoke bench-retransmit bench-diff clean
 
 all: build
 
@@ -30,21 +30,33 @@ audit: build
 	  done; \
 	done
 
-# Regenerate BENCH_PR7.json (backend x app x variant gate rows with
+# Regenerate BENCH_PR8.json (backend x app x variant gate rows with
 # per-component wire bytes, plus the node-count scaling sweep and
 # fitted growth exponents) and run the audited matrix.  Fails on any
-# app-level check, conservation miss or audit violation.
+# app-level check, conservation miss, retransmit-gate violation or
+# audit violation.
 bench-smoke: build
 	dune exec bench/main.exe -- json scaling
 	$(MAKE) audit
 
+# Retransmit gate alone (no snapshot written): on every 4-node LRC
+# gate row, batched wire bytes must not exceed legacy wire bytes and
+# batched retransmit bytes must stay under 1% of the row's wire bytes.
+bench-retransmit: build
+	dune exec bench/main.exe -- retransmit
+
 # Standing perf gate: fresh gate rows plus a 16-node scaling smoke,
-# compared against the committed BENCH_PR6.json LRC rows within 2% on
-# messages and wire bytes.  Exits non-zero on regression or a lost row.
+# compared against the committed BENCH_PR8.json LRC rows within 2% on
+# messages, wire bytes and retransmit bytes, one bench_diff invocation
+# per config arm.  Exits non-zero on regression or a lost row.
 bench-diff: build
 	dune exec bench/main.exe -- json scaling -n 16 -o BENCH_GATE.json
-	dune exec bin/bench_diff.exe -- BENCH_PR6.json BENCH_GATE.json \
-	  --only backend=lrc --fields messages,wire_bytes --tolerance 2
+	dune exec bin/bench_diff.exe -- BENCH_PR8.json BENCH_GATE.json \
+	  --only backend=lrc --only config=legacy \
+	  --fields messages,wire_bytes,components.retransmit --tolerance 2
+	dune exec bin/bench_diff.exe -- BENCH_PR8.json BENCH_GATE.json \
+	  --only backend=lrc --only config=batched \
+	  --fields messages,wire_bytes,components.retransmit --tolerance 2
 
 clean:
 	dune clean

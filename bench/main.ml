@@ -402,18 +402,23 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable snapshot ([-o FILE], default BENCH_PR7.json):
+(* Machine-readable snapshot ([-o FILE], default BENCH_PR8.json):
    per-app wall clock, message/wire totals and the per-component
    wire-byte breakdown ({!Carlos_obs.Cost}) for the 4-node
    backend x app x variant matrix ([json]), plus a node-count sweep at
    reduced application scale with fitted per-component growth exponents
    ([scaling]).  The LRC backend additionally runs the gate matrix in
    both protocol configs — "legacy" (per-frame acks, serial unbatched
-   fetching) and "batched" — to stay comparable with BENCH_PR3.json; the
-   other backends have no unbatched arm.  Every measured run is checked
-   for wire-byte conservation (components must sum exactly to
-   medium.bytes + datagram.dropped_bytes).  Both benches accumulate
-   into the same snapshot file, written once after all requested
+   fetching, fixed-rto retransmission) and "batched" — to stay
+   comparable with BENCH_PR3.json; the other backends have no unbatched
+   arm.  Every measured run is checked for wire-byte conservation
+   (components must sum exactly to medium.bytes +
+   datagram.dropped_bytes), and the LRC gate matrix additionally against
+   the retransmit gate: on every (app, variant) row, batched wire bytes
+   must not exceed legacy wire bytes and batched retransmit bytes must
+   stay under 1% of the row's wire bytes (the [retransmit] bench runs
+   just this check, without writing a snapshot).  Both snapshot benches
+   accumulate into the same file, written once after all requested
    benches ran.  Format documented in EXPERIMENTS.md; compare snapshots
    with bin/bench_diff.exe. *)
 
@@ -421,7 +426,7 @@ module Obs = Carlos_obs.Obs
 module Wire_cost = Carlos_obs.Cost
 module Bench_report = Carlos_report.Bench_report
 
-let output_file = ref "BENCH_PR7.json"
+let output_file = ref "BENCH_PR8.json"
 
 let scaling_nodes = ref [ 4; 8; 16; 32 ]
 
@@ -479,91 +484,162 @@ type json_app = {
   ja_variants : (string * (System.t -> System.report * bool)) list;
 }
 
-let bench_json () =
-  let nodes = 4 in
+let gate_apps () =
   let reference = Tsp.solve_reference Tsp.default_params in
-  let apps =
-    [
-      {
-        ja_name = "tsp";
-        ja_config = (fun nodes -> System.default_config ~nodes);
-        ja_variants =
+  [
+    {
+      ja_name = "tsp";
+      ja_config = (fun nodes -> System.default_config ~nodes);
+      ja_variants =
+        List.map
+          (fun (name, variant) ->
+            ( name,
+              fun sys ->
+                let r = Tsp.run sys variant Tsp.default_params in
+                (r.Tsp.report, r.Tsp.best = reference) ))
+          [ ("lock", Tsp.Lock); ("hybrid", Tsp.Hybrid) ];
+    };
+    {
+      ja_name = "qsort";
+      ja_config = (fun nodes -> Qsort.config ~nodes Qsort.default_params);
+      ja_variants =
+        List.map
+          (fun (name, variant) ->
+            ( name,
+              fun sys ->
+                let r = Qsort.run sys variant Qsort.default_params in
+                (r.Qsort.report, r.Qsort.sorted) ))
+          [ ("lock", Qsort.Lock); ("hybrid", Qsort.Hybrid1) ];
+    };
+    {
+      ja_name = "water";
+      ja_config = (fun nodes -> System.default_config ~nodes);
+      ja_variants =
+        List.map
+          (fun (name, variant) ->
+            ( name,
+              fun sys ->
+                let r = Water.run sys variant Water.default_params in
+                (r.Water.report, r.Water.energy_ok) ))
+          [ ("lock", Water.Lock); ("hybrid", Water.Hybrid) ];
+    };
+    {
+      ja_name = "grid";
+      ja_config = (fun nodes -> Grid.config ~nodes Grid.default_params);
+      ja_variants =
+        List.map
+          (fun (name, variant) ->
+            ( name,
+              fun sys ->
+                let r = Grid.run sys variant Grid.default_params in
+                (r.Grid.report, r.Grid.exact) ))
+          [ ("lock", Grid.Barrier); ("hybrid", Grid.Hybrid) ];
+    };
+  ]
+
+(* The LRC gate matrix is run both with and without batching so the two
+   arms can be diffed; the other backends have no unbatched arm. *)
+let lrc_modes = [ ("legacy", System.legacy_config); ("batched", Fun.id) ]
+
+(* Run the 4-node gate matrix for [backend] in every mode, appending
+   rows to [dest]; returns [((app, variant, mode), metrics)] per row. *)
+let run_gate_matrix ~dest ~backend ~modes apps =
+  let nodes = 4 in
+  List.concat_map
+    (fun (mode, tweak) ->
+      List.concat_map
+        (fun ja ->
           List.map
-            (fun (name, variant) ->
-              ( name,
-                fun sys ->
-                  let r = Tsp.run sys variant Tsp.default_params in
-                  (r.Tsp.report, r.Tsp.best = reference) ))
-            [ ("lock", Tsp.Lock); ("hybrid", Tsp.Hybrid) ];
-      };
-      {
-        ja_name = "qsort";
-        ja_config = (fun nodes -> Qsort.config ~nodes Qsort.default_params);
-        ja_variants =
-          List.map
-            (fun (name, variant) ->
-              ( name,
-                fun sys ->
-                  let r = Qsort.run sys variant Qsort.default_params in
-                  (r.Qsort.report, r.Qsort.sorted) ))
-            [ ("lock", Qsort.Lock); ("hybrid", Qsort.Hybrid1) ];
-      };
-      {
-        ja_name = "water";
-        ja_config = (fun nodes -> System.default_config ~nodes);
-        ja_variants =
-          List.map
-            (fun (name, variant) ->
-              ( name,
-                fun sys ->
-                  let r = Water.run sys variant Water.default_params in
-                  (r.Water.report, r.Water.energy_ok) ))
-            [ ("lock", Water.Lock); ("hybrid", Water.Hybrid) ];
-      };
-      {
-        ja_name = "grid";
-        ja_config = (fun nodes -> Grid.config ~nodes Grid.default_params);
-        ja_variants =
-          List.map
-            (fun (name, variant) ->
-              ( name,
-                fun sys ->
-                  let r = Grid.run sys variant Grid.default_params in
-                  (r.Grid.report, r.Grid.exact) ))
-            [ ("lock", Grid.Barrier); ("hybrid", Grid.Hybrid) ];
-      };
-    ]
+            (fun (vname, run) ->
+              let metrics =
+                measure ~dest ~nodes ~app:ja.ja_name ~variant:vname
+                  ~backend:(Backend.kind_to_string backend) ~mode
+                  (fun () ->
+                    let cfg =
+                      { (tweak (ja.ja_config nodes)) with System.backend }
+                    in
+                    let sys = System.create cfg in
+                    let report, ok = run sys in
+                    (sys, report, ok))
+              in
+              ((ja.ja_name, vname, mode), metrics))
+            ja.ja_variants)
+        apps)
+    modes
+
+(* The retransmit gate: on every 4-node LRC (app, variant) row, batched
+   must spend no more wire bytes than legacy, and batched retransmit
+   bytes must stay below 1% of the row's wire bytes.  A violation is a
+   snapshot failure (exit 1), same as a cost-conservation break. *)
+let check_retransmit_gate rows =
+  let metric name ms =
+    Option.value ~default:0.0 (List.assoc_opt name ms)
   in
+  let keys =
+    List.sort_uniq Stdlib.compare
+      (List.map (fun ((app, v, _), _) -> (app, v)) rows)
+  in
+  section "Retransmit gate: batched vs legacy wire bytes (4-node LRC)";
+  Format.fprintf ppf "  %-14s %13s %13s %12s %8s@." "app/variant"
+    "legacy wire" "batched wire" "retransmit" "pct";
+  List.iter
+    (fun (app, v) ->
+      match
+        ( List.assoc_opt (app, v, "legacy") rows,
+          List.assoc_opt (app, v, "batched") rows )
+      with
+      | Some lm, Some bm ->
+        let lw = metric "wire_bytes" lm in
+        let bw = metric "wire_bytes" bm in
+        let br = metric "components.retransmit" bm in
+        let pct = if bw > 0.0 then 100.0 *. br /. bw else 0.0 in
+        let ok = bw <= lw && pct < 1.0 in
+        Format.fprintf ppf "  %-14s %13.0f %13.0f %12.0f %7.3f%%%s@."
+          (app ^ "/" ^ v) lw bw br pct
+          (if ok then "" else "  GATE FAIL");
+        if bw > lw then
+          snapshot_failed :=
+            Printf.sprintf
+              "%s/%s: batched wire bytes %.0f > legacy %.0f" app v bw lw
+            :: !snapshot_failed;
+        if pct >= 1.0 then
+          snapshot_failed :=
+            Printf.sprintf
+              "%s/%s: retransmit bytes %.0f are %.2f%% of wire bytes \
+               (gate: < 1%%)"
+              app v br pct
+            :: !snapshot_failed
+      | _ ->
+        snapshot_failed :=
+          Printf.sprintf "%s/%s: retransmit gate row missing an arm" app v
+          :: !snapshot_failed)
+    keys
+
+let bench_json () =
+  let apps = gate_apps () in
+  let lrc_rows = ref [] in
   List.iter
     (fun backend ->
       let modes =
         match backend with
-        | Backend.Lrc ->
-          [ ("legacy", System.legacy_config); ("batched", Fun.id) ]
+        | Backend.Lrc -> lrc_modes
         | Backend.Central | Backend.Seq -> [ ("batched", Fun.id) ]
       in
-      List.iter
-        (fun (mode, tweak) ->
-          List.iter
-            (fun ja ->
-              List.iter
-                (fun (vname, run) ->
-                  ignore
-                    (measure ~dest:json_runs ~nodes ~app:ja.ja_name
-                       ~variant:vname
-                       ~backend:(Backend.kind_to_string backend) ~mode
-                       (fun () ->
-                         let cfg =
-                           { (tweak (ja.ja_config nodes)) with System.backend }
-                         in
-                         let sys = System.create cfg in
-                         let report, ok = run sys in
-                         (sys, report, ok))))
-                ja.ja_variants)
-            apps)
-        modes)
+      let rows = run_gate_matrix ~dest:json_runs ~backend ~modes apps in
+      if backend = Backend.Lrc then lrc_rows := rows)
     Backend.all_kinds;
-  Format.fprintf ppf "json: %d gate rows measured@." (List.length !json_runs)
+  Format.fprintf ppf "json: %d gate rows measured@." (List.length !json_runs);
+  check_retransmit_gate !lrc_rows
+
+(* Standalone smoke target ([make bench-retransmit]): run just the LRC
+   gate matrix and apply the retransmit gate, without writing rows into
+   the snapshot file. *)
+let bench_retransmit () =
+  let dest = ref [] in
+  let rows =
+    run_gate_matrix ~dest ~backend:Backend.Lrc ~modes:lrc_modes (gate_apps ())
+  in
+  check_retransmit_gate rows
 
 (* ------------------------------------------------------------------ *)
 (* Scaling sweep: grid and tsp at reduced scale on every backend across
@@ -700,6 +776,7 @@ let () =
       ("micro", micro);
       ("json", bench_json);
       ("scaling", bench_scaling);
+      ("retransmit", bench_retransmit);
     ]
   in
   (* Pull "-o FILE" (snapshot destination) and "-n LIST" (scaling node

@@ -35,6 +35,7 @@ type opts = {
   audit : bool;
   causal : bool;
   no_batch : bool;
+  legacy_rto : bool;
   profile : bool;
 }
 
@@ -128,16 +129,25 @@ let no_batch_arg =
   in
   Arg.(value & flag & info [ "no-batch" ] ~doc)
 
+let legacy_rto_arg =
+  let doc =
+    "Use the pre-ARQ fixed retransmission timeout (no RTT estimation, no \
+     payload-aware floor, backoff reset on every ack, no fast retransmit). \
+     Orthogonal to --no-batch (which implies it); useful for A/B rows \
+     isolating the adaptive ARQ's effect."
+  in
+  Arg.(value & flag & info [ "legacy-rto" ] ~doc)
+
 let opts_term =
   let mk nodes variant backend costs seed breakdown trace_file metrics
-      metrics_json audit causal no_batch profile =
+      metrics_json audit causal no_batch legacy_rto profile =
     { nodes; variant; backend; costs; seed; breakdown; trace_file; metrics;
-      metrics_json; audit; causal; no_batch; profile }
+      metrics_json; audit; causal; no_batch; legacy_rto; profile }
   in
   Term.(
     const mk $ nodes_arg $ variant_arg $ backend_arg $ costs_arg $ seed_arg
     $ breakdown_arg $ trace_arg $ metrics_arg $ metrics_json_arg $ audit_arg
-    $ causal_arg $ no_batch_arg $ profile_arg)
+    $ causal_arg $ no_batch_arg $ legacy_rto_arg $ profile_arg)
 
 let costs_of_string = function
   | "default" -> Ok Cost.default
@@ -217,6 +227,7 @@ let finish ~opts ~sys ~label ~ok report =
 let make_system ~opts ~backend cfg =
   let cfg = { cfg with System.backend } in
   let cfg = if opts.no_batch then System.legacy_config cfg else cfg in
+  let cfg = if opts.legacy_rto then { cfg with System.legacy_rto = true } else cfg in
   let sys = System.create ~audit:opts.audit cfg in
   if opts.trace_file <> None || opts.causal then System.set_tracing sys true;
   if opts.profile then begin

@@ -34,6 +34,8 @@ type config = {
   loss : float;
   ack_every : int;
   ack_delay : float;
+  legacy_rto : bool;
+  rto_margin : float;
   costs : Cost.t;
   backend : Backend.kind;
   strategy : Lrc.strategy;
@@ -57,6 +59,8 @@ let default_config ~nodes =
     loss = 0.0;
     ack_every = 4;
     ack_delay = 0.005;
+    legacy_rto = false;
+    rto_margin = 2.0;
     costs = Cost.default;
     backend = Backend.Lrc;
     strategy = Lrc.Invalidate;
@@ -66,14 +70,15 @@ let default_config ~nodes =
     diff_cache = true;
   }
 
-(* The seed protocol's behaviour: ack-per-frame, serial per-(page, creator)
-   demand fetching, no merged-diff cache.  Used as the "before" arm of
-   benchmark comparisons and by [--no-batch]. *)
+(* The seed protocol's behaviour: ack-per-frame, fixed-RTO retransmission,
+   serial per-(page, creator) demand fetching, no merged-diff cache.  Used
+   as the "before" arm of benchmark comparisons and by [--no-batch]. *)
 let legacy_config cfg =
   {
     cfg with
     ack_every = 1;
     ack_delay = 0.0;
+    legacy_rto = true;
     batch_fetch = false;
     diff_cache = false;
   }
@@ -447,7 +452,8 @@ let create ?(audit = false) (cfg : config) =
   in
   let sw =
     Sliding_window.create ~ack_every:cfg.ack_every ~ack_delay:cfg.ack_delay
-      engine datagram ~window:cfg.window ~rto:cfg.rto
+      ~legacy_rto:cfg.legacy_rto ~rto_margin:cfg.rto_margin engine datagram
+      ~window:cfg.window ~rto:cfg.rto
   in
   let region =
     Region.create ~page_size:cfg.page_size ~private_bytes:cfg.private_bytes

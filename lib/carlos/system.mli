@@ -31,6 +31,12 @@ type config = {
   ack_delay : float;
       (* ...or after this many seconds, whichever comes first; must stay
          below [rto] when [ack_every > 1] *)
+  legacy_rto : bool;
+      (* true restores the pre-ARQ fixed-RTO, reset-on-ack retransmission
+         scheme (see {!Carlos_net.Sliding_window}) for A/B runs *)
+  rto_margin : float;
+      (* safety factor on the adaptive RTO's in-flight serialization
+         floor; ignored under [legacy_rto] *)
   costs : Carlos_dsm.Cost.t;
   backend : Carlos_dsm.Backend.kind;
       (* consistency model: Lrc (the paper's protocol), Central
@@ -58,8 +64,9 @@ type config = {
 val default_config : nodes:int -> config
 
 (** [legacy_config cfg] turns off everything batched: ack-per-frame,
-    serial per-(page, creator) demand fetching, no merged-diff cache —
-    the seed protocol's behaviour, kept as the baseline arm for benchmark
+    fixed-RTO retransmission ([legacy_rto = true]), serial
+    per-(page, creator) demand fetching, no merged-diff cache — the seed
+    protocol's behaviour, kept as the baseline arm for benchmark
     comparisons. *)
 val legacy_config : config -> config
 

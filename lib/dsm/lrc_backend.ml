@@ -190,10 +190,17 @@ let find_interval t id =
 (* ------------------------------------------------------------------ *)
 (* Local diff bookkeeping *)
 
+(* Per-key diff lists are accumulated newest-first: consing is O(1) where
+   appending was O(n), so a page whose log grows across many write-notice
+   arrivals builds it in linear total time instead of quadratic.  Readers
+   that apply or ship diffs materialize encoding order with [in_order];
+   order-insensitive readers (size sums, discards) use the raw list. *)
+let in_order ds = List.rev ds
+
 let store_diff t ~page ~(id : Interval.id) diff =
   let key = (page, id.Interval.creator, id.Interval.index) in
   let existing = Option.value ~default:[] (Hashtbl.find_opt t.diffs key) in
-  Hashtbl.replace t.diffs key (existing @ [ diff ]);
+  Hashtbl.replace t.diffs key (diff :: existing);
   t.diff_bytes_stored <- t.diff_bytes_stored + Diff.size_bytes diff
 
 (* Encode the modifications of a write-enabled page.  The twin always
@@ -226,7 +233,7 @@ let flush_page t page =
     let existing =
       Option.value ~default:[] (Hashtbl.find_opt t.orphans page)
     in
-    Hashtbl.replace t.orphans page (existing @ [ diff ])
+    Hashtbl.replace t.orphans page (diff :: existing)
 
 (* ------------------------------------------------------------------ *)
 (* Fault handling *)
@@ -318,7 +325,7 @@ let fetch_whole_page t page ids =
           (* Still-unpublished local writes (orphans of the open interval)
              are newer than anything the server can have; restore them. *)
           (match Hashtbl.find_opt t.orphans page with
-          | Some ds -> List.iter (fun d -> Page.apply_diff p d) ds
+          | Some ds -> List.iter (fun d -> Page.apply_diff p d) (in_order ds)
           | None -> ());
           (* An interval (c, k) is reflected in (or superseded within) the
              server's copy exactly when the server had seen it, i.e. when
@@ -459,7 +466,7 @@ let collect_diffs t targets =
               let key = (page, id.Interval.creator, id.Interval.index) in
               match Hashtbl.find_opt t.diffs key with
               | Some ds ->
-                Hashtbl.replace have key ds;
+                Hashtbl.replace have key (in_order ds);
                 false
               | None ->
                 if id.Interval.creator = t.me then
@@ -750,7 +757,7 @@ let close_interval t =
         (* Diffs encoded mid-interval by write-notice arrivals... *)
         (match Hashtbl.find_opt t.orphans page with
         | Some ds ->
-          List.iter (fun d -> store_diff t ~page ~id d) ds;
+          List.iter (fun d -> store_diff t ~page ~id d) (in_order ds);
           Hashtbl.remove t.orphans page
         | None -> ());
         (* ...and the final state of the page if it was still writable. *)
@@ -836,7 +843,7 @@ let attachments_for t ~receiver intervals =
                     List.iter
                       (fun d -> budget := !budget - Diff.size_bytes d)
                       ds;
-                    Some (page, id, ds)
+                    Some (page, id, in_order ds)
                   | None -> None)
                 i.Interval.write_notices
             in
@@ -1158,7 +1165,7 @@ let serve_diffs t request =
     match
       Hashtbl.find_opt t.diffs (page, id.Interval.creator, id.Interval.index)
     with
-    | Some ds -> ds
+    | Some ds -> in_order ds
     | None ->
       raise
         (Protocol_violation

@@ -9,6 +9,8 @@ type 'a t = {
   medium : 'a Medium.t;
   loss : float;
   rng : Rng.t option;
+  mutable sends_seen : int;
+  forced_drops : (int, unit) Hashtbl.t;
   sent_c : Obs.counter;
   dropped_c : Obs.counter;
   dropped_bytes_c : Obs.counter;
@@ -26,6 +28,8 @@ let create medium ?(loss = 0.0) ?rng () =
     medium;
     loss;
     rng;
+    sends_seen = 0;
+    forced_drops = Hashtbl.create 7;
     sent_c = Obs.counter obs ~node:g ~layer:Obs.Net "datagram.sent";
     dropped_c = Obs.counter obs ~node:g ~layer:Obs.Net "datagram.dropped";
     dropped_bytes_c =
@@ -42,12 +46,34 @@ let set_handler t ~node handler =
   Medium.set_handler t.medium ~node (fun ~src ~size v ->
       handler ~src ~size:(size - header_bytes) v)
 
+let latency t = Medium.latency t.medium
+
+let bandwidth t = Medium.bandwidth t.medium
+
+let backlog t = Medium.backlog t.medium
+
+let inject_drops t idxs =
+  List.iter
+    (fun i ->
+      if i < 0 then invalid_arg "Datagram.inject_drops: negative index";
+      Hashtbl.replace t.forced_drops (t.sends_seen + i) ())
+    idxs
+
 let dropped t =
-  t.loss > 0.0
-  &&
-  match t.rng with
-  | Some rng -> Rng.flip rng ~p:t.loss
-  | None -> false
+  (* A forced drop consumes no rng draw, so seeded random-loss runs are
+     unperturbed by tests that also inject targeted drops. *)
+  let idx = t.sends_seen in
+  t.sends_seen <- idx + 1;
+  if Hashtbl.mem t.forced_drops idx then begin
+    Hashtbl.remove t.forced_drops idx;
+    true
+  end
+  else
+    t.loss > 0.0
+    &&
+    match t.rng with
+    | Some rng -> Rng.flip rng ~p:t.loss
+    | None -> false
 
 let send t ~src ~dst ~payload_bytes v =
   if payload_bytes < 0 then invalid_arg "Datagram.send: negative size";

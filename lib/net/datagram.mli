@@ -26,6 +26,25 @@ val obs : 'a t -> Carlos_obs.Obs.t
 
 val nodes : 'a t -> int
 
+(** Propagation delay of the underlying medium. *)
+val latency : 'a t -> float
+
+(** Bandwidth of the underlying medium, in bytes per second. *)
+val bandwidth : 'a t -> float
+
+(** Carrier-sense signal of the underlying medium: bytes accepted for
+    transmission whose serialization has not completed yet (see
+    {!Medium.backlog}).  Dropped datagrams never reach the wire and so
+    never contribute. *)
+val backlog : 'a t -> int
+
+(** [inject_drops t idxs] forces the datagrams at the given indices —
+    counted from the next {!send}, 0 being that next send — to be dropped,
+    regardless of the random loss setting.  Forced drops are accounted like
+    random ones ([datagram.dropped], dropped bytes) but consume no rng
+    draw.  Test hook for deterministic single-frame-loss scenarios. *)
+val inject_drops : 'a t -> int list -> unit
+
 val set_handler :
   'a t -> node:int -> (src:int -> size:int -> 'a -> unit) -> unit
 

@@ -11,6 +11,11 @@ type 'a t = {
   latency : float;
   bandwidth : float;
   wire : Resource.Fifo.t;
+  (* Bytes accepted by [send] whose serialization onto the wire has not
+     finished yet (queued behind the FIFO or mid-transmission).  This is
+     the carrier-sense signal: while it is non-zero an ack may simply be
+     stuck behind the backlog, so retransmission timers should defer. *)
+  mutable backlog_bytes : int;
   handlers : 'a handler option array;
   frames_c : Obs.counter;
   bytes_c : Obs.counter;
@@ -30,6 +35,7 @@ let create ?obs engine ~nodes ~latency ~bandwidth =
     latency;
     bandwidth;
     wire = Resource.Fifo.create ();
+    backlog_bytes = 0;
     handlers = Array.make nodes None;
     frames_c = Obs.counter obs ~node:g ~layer:Obs.Net "medium.frames";
     bytes_c = Obs.counter obs ~node:g ~layer:Obs.Net "medium.bytes";
@@ -40,6 +46,12 @@ let create ?obs engine ~nodes ~latency ~bandwidth =
 let obs t = t.obs
 
 let nodes t = t.node_count
+
+let latency t = t.latency
+
+let bandwidth t = t.bandwidth
+
+let backlog t = t.backlog_bytes
 
 let check_node t node =
   if node < 0 || node >= t.node_count then
@@ -55,9 +67,11 @@ let send t ~src ~dst ~size payload =
   if size <= 0 then invalid_arg "Medium.send: size must be positive";
   Obs.inc t.frames_c;
   Obs.add t.bytes_c size;
+  t.backlog_bytes <- t.backlog_bytes + size;
   Engine.spawn t.engine (fun () ->
       let transmit_time = float_of_int size /. t.bandwidth in
       let waited = Resource.Fifo.use t.wire transmit_time in
+      t.backlog_bytes <- t.backlog_bytes - size;
       Obs.Hist.observe t.queue_delay waited;
       Obs.set_gauge t.busy_g (Resource.Fifo.busy_time t.wire);
       if Obs.tracing t.obs then

@@ -39,6 +39,22 @@ val obs : 'a t -> Carlos_obs.Obs.t
 
 val nodes : 'a t -> int
 
+(** Propagation-plus-interrupt delay, as passed to {!create}. *)
+val latency : 'a t -> float
+
+(** Wire bandwidth in bytes per second, as passed to {!create}.  Upper
+    layers use it to bound how long a frame can legitimately occupy the
+    wire (e.g. the sliding window's payload-aware RTO floor). *)
+val bandwidth : 'a t -> float
+
+(** Bytes accepted by {!send} whose serialization onto the wire has not
+    completed yet (queued behind the FIFO or mid-transmission).  This is
+    the carrier-sense signal: while non-zero, an expected ack may simply
+    be queued behind the backlog, so retransmission timers should defer
+    rather than fire.  [backlog t /. bandwidth t] bounds the remaining
+    drain time. *)
+val backlog : 'a t -> int
+
 (** Install the receive upcall for a station.  The upcall runs in a fresh
     fiber at delivery time and may block. *)
 val set_handler : 'a t -> node:int -> (src:int -> size:int -> 'a -> unit) -> unit

@@ -7,7 +7,35 @@
     send order; cumulative acknowledgements and go-back-N retransmission
     recover from datagram loss.  The in-order guarantee per pair is what
     the hybrid Water application relies on for atomic remote updates
-    (paper §5.3). *)
+    (paper §5.3).
+
+    {2 Adaptive retransmission (ARQ)}
+
+    By default the retransmission timeout adapts per connection:
+
+    - {b RTT estimation} — Jacobson/Karels smoothed RTT and variance
+      ([srtt + 4 * rttvar]), sampled only from frames that were never
+      retransmitted (Karn's rule), clamped between the configured [rto]
+      (a floor) and [64 * rto].
+    - {b Serialization floor} — everything in flight on a connection must
+      serialize through the shared wire before the oldest frame's ack can
+      come back, so the timeout is additionally floored at
+      [rto_margin * inflight_bytes / bandwidth + 2 * latency + ack_delay].
+      A multi-megabyte diff frame therefore waits its legitimate wire time
+      instead of timing out a dozen times.
+    - {b Carrier sense} — an expired timer whose wire still carries a
+      backlog ({!Datagram.backlog}) defers past the backlog's drain time
+      instead of retransmitting into the queue; only a timeout on an idle
+      wire — where the ack had every chance to arrive — resends.
+    - {b Persistent backoff} — exponential backoff (capped at 64 x) is
+      reset only when a never-retransmitted frame is acked; an ack for a
+      retransmitted copy proves delivery, not that congestion cleared.
+    - {b Fast retransmit} — three consecutive non-advancing acks resend
+      the oldest unacked frame immediately, so genuine single-frame loss
+      recovers in about one RTT rather than one RTO.
+
+    [legacy_rto = true] restores the pre-ARQ behaviour exactly (fixed
+    [rto], backoff reset on every ack, no fast retransmit) for A/B runs. *)
 
 (** Wire frames exchanged by the protocol.  Exposed so callers can
     instantiate the underlying medium/datagram layers at this type. *)
@@ -15,9 +43,15 @@ type 'a frame
 
 type 'a t
 
-(** [create ?ack_every ?ack_delay engine datagram ~window ~rto] — [window]
-    is the maximum number of unacknowledged messages per connection; [rto]
-    the retransmission timeout in seconds.
+(** [create ?ack_every ?ack_delay ?legacy_rto ?rto_margin engine datagram
+    ~window ~rto] — [window] is the maximum number of unacknowledged
+    messages per connection; [rto] the base retransmission timeout in
+    seconds (the fixed timeout under [legacy_rto], the adaptive floor
+    otherwise).
+
+    [rto_margin] (default 2.0, must be non-negative) scales the in-flight
+    serialization term of the adaptive timeout floor; larger values absorb
+    more cross-traffic on the shared wire before a timeout fires.
 
     Delayed cumulative acks: the receiver sends one cumulative ack per
     [ack_every] in-order data frames, or after [ack_delay] seconds when
@@ -30,6 +64,8 @@ type 'a t
 val create :
   ?ack_every:int ->
   ?ack_delay:float ->
+  ?legacy_rto:bool ->
+  ?rto_margin:float ->
   Carlos_sim.Engine.t ->
   'a frame Datagram.t ->
   window:int ->
@@ -53,15 +89,35 @@ val set_handler :
 
 (** {1 Statistics}
 
-    Counters [sw.sent], [sw.delivered], [sw.retransmits] and [sw.acks]
-    in the registry, [Net] layer, cumulative since creation —
-    snapshot/diff the registry to measure a phase. *)
+    Counters [sw.sent], [sw.delivered], [sw.retransmits], [sw.acks],
+    [sw.rto_timeouts], [sw.rto_deferrals], [sw.rto_samples],
+    [sw.fast_retransmits] and [sw.spurious_retransmits] in the registry, [Net] layer, cumulative
+    since creation — snapshot/diff the registry to measure a phase.  Each
+    arming of the retransmit timer also records the effective timeout in
+    the [sw.rto_armed] histogram. *)
 
 val messages_sent : 'a t -> int
 
 val messages_delivered : 'a t -> int
 
+(** All retransmissions (timeout-driven plus fast retransmits). *)
 val retransmissions : 'a t -> int
+
+(** Retransmissions triggered by the timer expiring. *)
+val rto_timeouts : 'a t -> int
+
+(** Timer expiries that were deferred by carrier sense (the shared wire
+    still had a backlog) instead of retransmitting. *)
+val rto_deferrals : 'a t -> int
+
+(** RTT samples fed to the estimator (never from retransmitted frames). *)
+val rtt_samples : 'a t -> int
+
+(** Retransmissions triggered by duplicate acks, ahead of the timer. *)
+val fast_retransmits : 'a t -> int
+
+(** Data frames the receiver already had (wasted retransmitted copies). *)
+val spurious_retransmits : 'a t -> int
 
 val acks_sent : 'a t -> int
 

@@ -1,6 +1,12 @@
 type 'a entry = { time : float; seq : int; value : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable len : int }
+(* Slots at or beyond [len] hold [None] so that popped entries — and the
+   thunk closures they capture, including blocked continuations — are
+   released to the GC as soon as they leave the heap.  A plain
+   ['a entry array] backing store would retain the moved last entry in
+   [data.(len)] (and [grow]'s fill element in every spare slot)
+   indefinitely. *)
+type 'a t = { mutable data : 'a entry option array; mutable len : int }
 
 let create () = { data = [||]; len = 0 }
 
@@ -10,11 +16,16 @@ let is_empty h = h.len = 0
 
 let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let grow h entry =
+let get h i =
+  match h.data.(i) with
+  | Some e -> e
+  | None -> assert false (* slots below [len] are always populated *)
+
+let grow h =
   let cap = Array.length h.data in
   if h.len = cap then begin
     let cap' = if cap = 0 then 16 else cap * 2 in
-    let data' = Array.make cap' entry in
+    let data' = Array.make cap' None in
     Array.blit h.data 0 data' 0 h.len;
     h.data <- data'
   end
@@ -22,7 +33,7 @@ let grow h entry =
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if lt h.data.(i) h.data.(parent) then begin
+    if lt (get h i) (get h parent) then begin
       let tmp = h.data.(i) in
       h.data.(i) <- h.data.(parent);
       h.data.(parent) <- tmp;
@@ -33,8 +44,8 @@ let rec sift_up h i =
 let rec sift_down h i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < h.len && lt h.data.(left) h.data.(!smallest) then smallest := left;
-  if right < h.len && lt h.data.(right) h.data.(!smallest) then
+  if left < h.len && lt (get h left) (get h !smallest) then smallest := left;
+  if right < h.len && lt (get h right) (get h !smallest) then
     smallest := right;
   if !smallest <> i then begin
     let tmp = h.data.(i) in
@@ -44,26 +55,27 @@ let rec sift_down h i =
   end
 
 let add h ~time ~seq value =
-  let entry = { time; seq; value } in
-  grow h entry;
-  h.data.(h.len) <- entry;
+  grow h;
+  h.data.(h.len) <- Some { time; seq; value };
   h.len <- h.len + 1;
   sift_up h (h.len - 1)
 
 let min_key h =
   if h.len = 0 then None
   else
-    let e = h.data.(0) in
+    let e = get h 0 in
     Some (e.time, e.seq)
 
 let pop_min h =
   if h.len = 0 then None
   else begin
-    let e = h.data.(0) in
+    let e = get h 0 in
     h.len <- h.len - 1;
     if h.len > 0 then begin
       h.data.(0) <- h.data.(h.len);
+      h.data.(h.len) <- None;
       sift_down h 0
-    end;
+    end
+    else h.data.(0) <- None;
     Some (e.time, e.seq, e.value)
   end

@@ -52,6 +52,27 @@ let prop_heap_sorted =
       in
       drain neg_infinity)
 
+let test_heap_releases_popped_values () =
+  (* A popped entry must be collectable immediately: the event heap holds
+     thunk closures (with captured continuations), and a vacated slot that
+     still references the moved last entry would pin them for the life of
+     the engine. *)
+  let h = Heap.create () in
+  let collected = ref 0 in
+  let n = 8 in
+  for i = 0 to n - 1 do
+    let v = ref i in
+    Gc.finalise (fun _ -> incr collected) v;
+    Heap.add h ~time:(float_of_int i) ~seq:i v
+  done;
+  for _ = 1 to n do
+    ignore (Heap.pop_min h)
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check int) "all popped values collected" n !collected;
+  Alcotest.(check int) "heap empty" 0 (Heap.size h)
+
 (* ------------------------------------------------------------------ *)
 (* Rng *)
 
@@ -331,6 +352,8 @@ let () =
         [
           Alcotest.test_case "pop order" `Quick test_heap_order;
           Alcotest.test_case "tie break by seq" `Quick test_heap_tie_break;
+          Alcotest.test_case "popped values released to gc" `Quick
+            test_heap_releases_popped_values;
         ]
         @ qcheck [ prop_heap_sorted ] );
       ( "rng",
