@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check audit bench-smoke bench-retransmit bench-diff clean
+.PHONY: all build test fmt check audit bench-smoke bench-retransmit bench-diff bench-parallel clean
 
 all: build
 
@@ -30,7 +30,7 @@ audit: build
 	  done; \
 	done
 
-# Regenerate BENCH_PR8.json (backend x app x variant gate rows with
+# Regenerate BENCH_PR10.json (backend x app x variant gate rows with
 # per-component wire bytes, plus the node-count scaling sweep and
 # fitted growth exponents) and run the audited matrix.  Fails on any
 # app-level check, conservation miss, retransmit-gate violation or
@@ -39,6 +39,17 @@ bench-smoke: build
 	dune exec bench/main.exe -- json scaling
 	$(MAKE) audit
 
+# Parallel-determinism gate: the gate matrix fanned across 2 domains
+# must produce a snapshot byte-identical (host-time fields aside, which
+# are wall-clock and therefore nondeterministic) to a sequential run.
+bench-parallel: build
+	dune exec bench/main.exe -- json -j 1 -o /tmp/bench_j1.json
+	dune exec bench/main.exe -- json -j 2 -o /tmp/bench_j2.json
+	sed -E 's/, "host_s": [0-9.]+, "host_ms": [0-9.]+//' /tmp/bench_j1.json > /tmp/bench_j1.stripped
+	sed -E 's/, "host_s": [0-9.]+, "host_ms": [0-9.]+//' /tmp/bench_j2.json > /tmp/bench_j2.stripped
+	cmp /tmp/bench_j1.stripped /tmp/bench_j2.stripped
+	@echo "bench-parallel: -j 2 snapshot identical to -j 1"
+
 # Retransmit gate alone (no snapshot written): on every 4-node LRC
 # gate row, batched wire bytes must not exceed legacy wire bytes and
 # batched retransmit bytes must stay under 1% of the row's wire bytes.
@@ -46,15 +57,15 @@ bench-retransmit: build
 	dune exec bench/main.exe -- retransmit
 
 # Standing perf gate: fresh gate rows plus a 16-node scaling smoke,
-# compared against the committed BENCH_PR8.json LRC rows within 2% on
+# compared against the committed BENCH_PR10.json LRC rows within 2% on
 # messages, wire bytes and retransmit bytes, one bench_diff invocation
 # per config arm.  Exits non-zero on regression or a lost row.
 bench-diff: build
 	dune exec bench/main.exe -- json scaling -n 16 -o BENCH_GATE.json
-	dune exec bin/bench_diff.exe -- BENCH_PR8.json BENCH_GATE.json \
+	dune exec bin/bench_diff.exe -- BENCH_PR10.json BENCH_GATE.json \
 	  --only backend=lrc --only config=legacy \
 	  --fields messages,wire_bytes,components.retransmit --tolerance 2
-	dune exec bin/bench_diff.exe -- BENCH_PR8.json BENCH_GATE.json \
+	dune exec bin/bench_diff.exe -- BENCH_PR10.json BENCH_GATE.json \
 	  --only backend=lrc --only config=batched \
 	  --fields messages,wire_bytes,components.retransmit --tolerance 2
 

@@ -5,8 +5,12 @@
    workload on the host.
 
    Usage:
-     bench/main.exe [table1] [table2] [table3] [fig2] [sec54] [tmcmp] [micro]
-   With no argument, everything except [micro] runs. *)
+     bench/main.exe [-j N] [-o FILE] [-n LIST] [table1] [table2] [table3]
+                    [fig2] [sec54] [tmcmp] [micro] [json] [scaling] ...
+   With no argument, everything except [micro] runs.  [-j N] fans the
+   snapshot benches' rows across N domains (default
+   [Domain.recommended_domain_count ()]); the output is identical for
+   every N. *)
 
 module System = Carlos.System
 module Backend = Carlos_dsm.Backend
@@ -374,8 +378,25 @@ let micro () =
     ignore
       (Water.run (System.create (System.default_config ~nodes:4)) Water.Lock p)
   in
+  (* Hot-path probe cost: a disabled-profiler span must cost a branch,
+     not a syscall or an allocation — this pair of rows is the
+     regression micro-bench for the zero-cost-when-off guarantee. *)
+  let profile_spans enabled () =
+    let module Profile = Carlos_obs.Profile in
+    Profile.set_enabled enabled;
+    for _ = 1 to 1000 do
+      let t0 = Profile.start () in
+      Profile.stop Profile.Event t0
+    done;
+    Profile.set_enabled false;
+    Profile.reset ()
+  in
   let tests =
     [
+      Test.make ~name:"profile-span-x1000-disabled"
+        (Staged.stage (profile_spans false));
+      Test.make ~name:"profile-span-x1000-enabled"
+        (Staged.stage (profile_spans true));
       Test.make ~name:"table1-tsp" (Staged.stage tiny_tsp);
       Test.make ~name:"table2-qsort" (Staged.stage tiny_qsort);
       Test.make ~name:"table3-water" (Staged.stage tiny_water);
@@ -402,7 +423,7 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable snapshot ([-o FILE], default BENCH_PR8.json):
+(* Machine-readable snapshot ([-o FILE], default BENCH_PR10.json):
    per-app wall clock, message/wire totals and the per-component
    wire-byte breakdown ({!Carlos_obs.Cost}) for the 4-node
    backend x app x variant matrix ([json]), plus a node-count sweep at
@@ -426,7 +447,42 @@ module Obs = Carlos_obs.Obs
 module Wire_cost = Carlos_obs.Cost
 module Bench_report = Carlos_report.Bench_report
 
-let output_file = ref "BENCH_PR8.json"
+let output_file = ref "BENCH_PR10.json"
+
+(* ------------------------------------------------------------------ *)
+(* Parallel runner: fans independent bench rows across domains ([-j N],
+   default [Domain.recommended_domain_count ()]).  Each row is a
+   complete, deterministic simulation whose mutable state is per-run or
+   domain-local (engine binding, profiler accumulators, twin pools), so
+   rows may execute in any order on any domain; results are indexed by
+   submission order and merged deterministically, making the snapshot
+   byte-identical for every [-j]. *)
+module Parallel_runner = struct
+  let jobs = ref (Domain.recommended_domain_count ())
+
+  let run (tasks : (unit -> 'a) array) : 'a array =
+    let n = Array.length tasks in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (tasks.(i) ());
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let k = max 1 (min !jobs n) in
+    if k = 1 then worker ()
+    else begin
+      let others = Array.init (k - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join others
+    end;
+    Array.map (function Some r -> r | None -> assert false) results
+end
 
 let scaling_nodes = ref [ 4; 8; 16; 32 ]
 
@@ -440,21 +496,36 @@ let scaling_samples = ref []
 
 let snapshot_failed = ref []
 
-(* Run one configuration, append its row to [dest], and return the
-   row's numeric metrics (used by the scaling fits). *)
-let measure ~dest ~nodes ~app ~variant ~backend ~mode f =
-  let host0 = Sys.time () in
+(* One measured row, produced (possibly on a worker domain) without
+   touching shared state; committed into the snapshot accumulators
+   serially, in submission order, by {!commit_row}. *)
+type row_result = {
+  rr_row : string; (* formatted JSON row *)
+  rr_metrics : (string * float) list;
+  rr_failures : string list; (* oldest first *)
+}
+
+(* Run one configuration and format its row.  [host_ms] is wall-clock
+   host time for the row ([host_s] stays CPU time for continuity);
+   both are nondeterministic and must never be gated on. *)
+let measure ~nodes ~app ~variant ~backend ~mode f =
+  let cpu0 = Sys.time () in
+  let wall0 = Unix.gettimeofday () in
   let sys, report, ok = f () in
+  let host_ms = (Unix.gettimeofday () -. wall0) *. 1000.0 in
+  let host = Sys.time () -. cpu0 in
   let name = Printf.sprintf "%s/%s/%s/%s/n%d" app variant backend mode nodes in
-  if not ok then snapshot_failed := name :: !snapshot_failed;
-  let host = Sys.time () -. host0 in
+  let failures = ref [] in
+  if not ok then failures := [ name ];
   let obs = System.obs sys in
   let c cname = Obs.counter_value obs ~node:Obs.global_node ~layer:Obs.Net cname in
   if not (Wire_cost.conserved obs) then
-    snapshot_failed :=
-      Printf.sprintf "%s: cost conservation (components %d <> wire %d)" name
-        (Wire_cost.total obs) (Wire_cost.wire_total obs)
-      :: !snapshot_failed;
+    failures :=
+      !failures
+      @ [
+          Printf.sprintf "%s: cost conservation (components %d <> wire %d)"
+            name (Wire_cost.total obs) (Wire_cost.wire_total obs);
+        ];
   let components = Wire_cost.breakdown obs in
   let components_json =
     String.concat ", "
@@ -462,21 +533,29 @@ let measure ~dest ~nodes ~app ~variant ~backend ~mode f =
          (fun (comp, v) -> Printf.sprintf "%S: %d" (Wire_cost.name comp) v)
          components)
   in
-  dest :=
+  let row =
     Printf.sprintf
-      {|    { "app": %S, "variant": %S, "backend": %S, "config": %S, "nodes": %d, "wall_s": %.6f, "messages": %d, "bytes": %d, "frames": %d, "wire_bytes": %d, "acks": %d, "acks_coalesced": %d, "diff_requests": %d, "components": { %s }, "ok": %b, "host_s": %.3f }|}
+      {|    { "app": %S, "variant": %S, "backend": %S, "config": %S, "nodes": %d, "wall_s": %.6f, "messages": %d, "bytes": %d, "frames": %d, "wire_bytes": %d, "acks": %d, "acks_coalesced": %d, "diff_requests": %d, "components": { %s }, "ok": %b, "host_s": %.3f, "host_ms": %.3f }|}
       app variant backend mode nodes report.System.wall report.System.messages
       report.System.message_bytes (c "medium.frames") (c "medium.bytes")
       (c "sw.acks") (c "sw.acks_coalesced") report.System.diff_requests
-      components_json ok host
-    :: !dest;
-  ("messages", float_of_int report.System.messages)
-  :: ("wire_bytes", float_of_int (c "medium.bytes"))
-  :: ("wall_s", report.System.wall)
-  :: List.map
-       (fun (comp, v) ->
-         ("components." ^ Wire_cost.name comp, float_of_int v))
-       components
+      components_json ok host host_ms
+  in
+  let metrics =
+    ("messages", float_of_int report.System.messages)
+    :: ("wire_bytes", float_of_int (c "medium.bytes"))
+    :: ("wall_s", report.System.wall)
+    :: ("host_ms", host_ms)
+    :: List.map
+         (fun (comp, v) ->
+           ("components." ^ Wire_cost.name comp, float_of_int v))
+         components
+  in
+  { rr_row = row; rr_metrics = metrics; rr_failures = !failures }
+
+let commit_row dest rr =
+  dest := rr.rr_row :: !dest;
+  List.iter (fun f -> snapshot_failed := f :: !snapshot_failed) rr.rr_failures
 
 type json_app = {
   ja_name : string;
@@ -541,31 +620,40 @@ let gate_apps () =
    arms can be diffed; the other backends have no unbatched arm. *)
 let lrc_modes = [ ("legacy", System.legacy_config); ("batched", Fun.id) ]
 
-(* Run the 4-node gate matrix for [backend] in every mode, appending
-   rows to [dest]; returns [((app, variant, mode), metrics)] per row. *)
+(* Run the 4-node gate matrix for [backend] in every mode, fanning the
+   rows across domains, then appending them to [dest] in submission
+   order; returns [((app, variant, mode), metrics)] per row. *)
 let run_gate_matrix ~dest ~backend ~modes apps =
   let nodes = 4 in
-  List.concat_map
-    (fun (mode, tweak) ->
-      List.concat_map
-        (fun ja ->
-          List.map
-            (fun (vname, run) ->
-              let metrics =
-                measure ~dest ~nodes ~app:ja.ja_name ~variant:vname
-                  ~backend:(Backend.kind_to_string backend) ~mode
-                  (fun () ->
-                    let cfg =
-                      { (tweak (ja.ja_config nodes)) with System.backend }
-                    in
-                    let sys = System.create cfg in
-                    let report, ok = run sys in
-                    (sys, report, ok))
-              in
-              ((ja.ja_name, vname, mode), metrics))
-            ja.ja_variants)
-        apps)
-    modes
+  let jobs =
+    List.concat_map
+      (fun (mode, tweak) ->
+        List.concat_map
+          (fun ja ->
+            List.map
+              (fun (vname, run) ->
+                ( (ja.ja_name, vname, mode),
+                  fun () ->
+                    measure ~nodes ~app:ja.ja_name ~variant:vname
+                      ~backend:(Backend.kind_to_string backend) ~mode
+                      (fun () ->
+                        let cfg =
+                          { (tweak (ja.ja_config nodes)) with System.backend }
+                        in
+                        let sys = System.create cfg in
+                        let report, ok = run sys in
+                        (sys, report, ok)) ))
+              ja.ja_variants)
+          apps)
+      modes
+  in
+  let results = Parallel_runner.run (Array.of_list (List.map snd jobs)) in
+  List.mapi
+    (fun i (key, _) ->
+      let rr = results.(i) in
+      commit_row dest rr;
+      (key, rr.rr_metrics))
+    jobs
 
 (* The retransmit gate: on every 4-node LRC (app, variant) row, batched
    must spend no more wire bytes than legacy, and batched retransmit
@@ -669,29 +757,38 @@ let bench_scaling () =
           (r.Tsp.report, r.Tsp.best = tsp_ref) );
     ]
   in
-  List.iter
-    (fun (app, vname, config, run) ->
-      List.iter
-        (fun backend ->
-          let bname = Backend.kind_to_string backend in
-          List.iter
-            (fun nodes ->
-              let metrics =
-                measure ~dest:scaling_rows ~nodes ~app ~variant:vname
-                  ~backend:bname ~mode:"scaling" (fun () ->
-                    let cfg = { (config nodes) with System.backend } in
-                    let sys = System.create cfg in
-                    let report, ok = run sys in
-                    (sys, report, ok))
-              in
-              scaling_samples := (app, bname, nodes, metrics) :: !scaling_samples;
-              Format.fprintf ppf "  %-5s@%-8s n=%-3d %10.0f wire bytes@." app
-                bname nodes
-                (Option.value ~default:0.0
-                   (List.assoc_opt "wire_bytes" metrics)))
-            !scaling_nodes)
-        Backend.all_kinds)
-    apps
+  let jobs =
+    List.concat_map
+      (fun (app, vname, config, run) ->
+        List.concat_map
+          (fun backend ->
+            let bname = Backend.kind_to_string backend in
+            List.map
+              (fun nodes ->
+                ( (app, bname, nodes),
+                  fun () ->
+                    measure ~nodes ~app ~variant:vname ~backend:bname
+                      ~mode:"scaling" (fun () ->
+                        let cfg = { (config nodes) with System.backend } in
+                        let sys = System.create cfg in
+                        let report, ok = run sys in
+                        (sys, report, ok)) ))
+              !scaling_nodes)
+          Backend.all_kinds)
+      apps
+  in
+  let results = Parallel_runner.run (Array.of_list (List.map snd jobs)) in
+  List.iteri
+    (fun i ((app, bname, nodes), _) ->
+      let rr = results.(i) in
+      commit_row scaling_rows rr;
+      scaling_samples :=
+        (app, bname, nodes, rr.rr_metrics) :: !scaling_samples;
+      Format.fprintf ppf "  %-5s@%-8s n=%-3d %10.0f wire bytes@." app bname
+        nodes
+        (Option.value ~default:0.0
+           (List.assoc_opt "wire_bytes" rr.rr_metrics)))
+    jobs
 
 (* Fit y = a * n^b per (app, backend, metric) over the sweep; rendered
    into the snapshot's "fits" array. *)
@@ -786,6 +883,14 @@ let () =
     | "-o" :: file :: rest ->
       output_file := file;
       strip_flags rest
+    | "-j" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some k when k >= 1 -> Parallel_runner.jobs := k
+      | _ ->
+        Format.fprintf ppf "-j requires a positive worker count@.";
+        Format.pp_print_flush ppf ();
+        exit 2);
+      strip_flags rest
     | "-n" :: list :: rest ->
       (match
          List.map int_of_string_opt (String.split_on_char ',' list)
@@ -797,8 +902,8 @@ let () =
         Format.pp_print_flush ppf ();
         exit 2);
       strip_flags rest
-    | [ ("-o" | "-n") ] ->
-      Format.fprintf ppf "-o and -n require an argument@.";
+    | [ ("-o" | "-n" | "-j") ] ->
+      Format.fprintf ppf "-o, -n and -j require an argument@.";
       Format.pp_print_flush ppf ();
       exit 2
     | arg :: rest -> arg :: strip_flags rest

@@ -55,6 +55,36 @@ let only_arg =
   in
   Arg.(value & opt_all kv [] & info [ "only" ] ~docv:"ATTR=VALUE" ~doc)
 
+(* Host-time fields are wall-clock measurements: nondeterministic by
+   nature, so they are never judged for regression.  Selecting them via
+   --fields prints an informational old/new table instead. *)
+let info_field = function "host_ms" | "host_s" -> true | _ -> false
+
+let pp_info_fields ppf fields old_rows new_rows =
+  List.iter
+    (fun field ->
+      List.iter
+        (fun o ->
+          match
+            List.find_opt (fun n -> n.Report.key = o.Report.key) new_rows
+          with
+          | None -> ()
+          | Some n -> (
+            match (Report.metric o field, Report.metric n field) with
+            | Some ov, Some nv ->
+              Format.fprintf ppf "  %s (info): %a  %.3f -> %.3f (%+.1f%%)@."
+                field Report.pp_key o.Report.key ov nv
+                (if ov = 0.0 then 0.0 else (nv -. ov) /. ov *. 100.0)
+            | Some ov, None ->
+              Format.fprintf ppf "  %s (info): %a  %.3f -> (absent)@." field
+                Report.pp_key o.Report.key ov
+            | None, Some nv ->
+              Format.fprintf ppf "  %s (info): %a  (absent) -> %.3f@." field
+                Report.pp_key o.Report.key nv
+            | None, None -> ()))
+        old_rows)
+    fields
+
 let run old_file new_file tolerance fields only =
   match
     ( (try Ok (Report.load old_file) with
@@ -68,6 +98,7 @@ let run old_file new_file tolerance fields only =
   with
   | Error e, _ | _, Error e -> `Error (false, e)
   | Ok old_rows, Ok new_rows -> (
+    let info_fields, fields = List.partition info_field fields in
     match
       Report.compare ~fields ~tolerance_pct:tolerance ~only old_rows new_rows
     with
@@ -78,8 +109,12 @@ let run old_file new_file tolerance fields only =
         "bench_diff: %s -> %s, %d row(s) compared, fields %s, tolerance \
          %.2f%%@."
         old_file new_file c.Report.compared
-        (String.concat "," fields)
+        (String.concat ","
+           (fields @ List.map (fun f -> f ^ "(info)") info_fields))
         tolerance;
+      pp_info_fields ppf info_fields
+        (List.filter (Report.selected only) old_rows)
+        (List.filter (Report.selected only) new_rows);
       List.iter
         (fun d -> Format.fprintf ppf "  improvement: %a@." Report.pp_delta d)
         c.Report.improvements;

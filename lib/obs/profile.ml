@@ -51,49 +51,69 @@ let name = function
 (* Inclusive categories overlap other spans; don't sum them with anything. *)
 let inclusive = function Vm_fault -> true | _ -> false
 
-let on = ref false
+(* Profiler state is domain-local so concurrent simulations in separate
+   domains (the parallel bench harness) never race on the accumulators:
+   each domain profiles — or, normally, ignores — its own runs. *)
+type state = { mutable on : bool; counts : int array; times : float array }
 
-let counts = Array.make categories 0
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { on = false;
+        counts = Array.make categories 0;
+        times = Array.make categories 0.0 })
 
-let times = Array.make categories 0.0
+let[@inline] state () = Domain.DLS.get state_key
 
-let set_enabled b = on := b
+let set_enabled b = (state ()).on <- b
 
-let enabled () = !on
+let[@inline] enabled () = (state ()).on
 
 let reset () =
-  Array.fill counts 0 categories 0;
-  Array.fill times 0 categories 0.0
+  let s = state () in
+  Array.fill s.counts 0 categories 0;
+  Array.fill s.times 0 categories 0.0
 
-(* Hot path: one branch when disabled, one gettimeofday each side of a
-   span when enabled. *)
-let start () = if !on then Unix.gettimeofday () else 0.0
+(* Hot path: one DLS read and one branch when disabled — no allocation,
+   no syscall; one gettimeofday each side of a span when enabled.
+   Callers with work to do only-when-profiling (building a span around a
+   resume, say) should branch on [enabled] themselves so the disabled
+   path stays allocation-free. *)
+let[@inline] start () =
+  let s = state () in
+  if s.on then Unix.gettimeofday () else 0.0
 
-let stop cat t0 =
-  if !on then begin
+let[@inline] stop cat t0 =
+  let s = state () in
+  if s.on then begin
     let i = index cat in
-    counts.(i) <- counts.(i) + 1;
-    times.(i) <- times.(i) +. (Unix.gettimeofday () -. t0)
+    s.counts.(i) <- s.counts.(i) + 1;
+    s.times.(i) <- s.times.(i) +. (Unix.gettimeofday () -. t0)
   end
 
-let tick cat = if !on then counts.(index cat) <- counts.(index cat) + 1
+let[@inline] tick cat =
+  let s = state () in
+  if s.on then s.counts.(index cat) <- s.counts.(index cat) + 1
 
 type sample = { category : string; count : int; seconds : float }
 
 let snapshot () =
+  let s = state () in
   List.map
     (fun c ->
-      { category = name c; count = counts.(index c); seconds = times.(index c) })
+      { category = name c;
+        count = s.counts.(index c);
+        seconds = s.times.(index c) })
     all
 
 let pp ppf () =
+  let s = state () in
   Format.fprintf ppf "%-14s %10s %12s@." "category" "count" "host(s)";
   List.iter
     (fun c ->
       let i = index c in
-      if counts.(i) > 0 then
-        Format.fprintf ppf "%-14s %10d %12.6f%s@." (name c) counts.(i)
-          times.(i)
+      if s.counts.(i) > 0 then
+        Format.fprintf ppf "%-14s %10d %12.6f%s@." (name c) s.counts.(i)
+          s.times.(i)
           (if inclusive c then " (inclusive)" else ""))
     all
 
@@ -102,27 +122,29 @@ let pp ppf () =
    "type":"profile".  Uses %.9g like Obs.json_float; values are real
    wall-clock seconds and thus nondeterministic. *)
 let pp_jsonl ppf () =
+  let s = state () in
   List.iter
     (fun c ->
       let i = index c in
       Format.fprintf ppf
         "{\"node\":%d,\"layer\":\"sim\",\"name\":\"profile.%s\",\"type\":\"profile\",\"count\":%d,\"seconds\":%.9g,\"inclusive\":%b}\n"
-        Obs.profile_node (name c) counts.(i) times.(i) (inclusive c))
+        Obs.profile_node (name c) s.counts.(i) s.times.(i) (inclusive c))
     all
 
 (* Mirror the profile into the trace buffer as Complete slices on the
    host-profile pseudo-process, laid out sequentially so Perfetto shows
    one bar per category (lengths are the aggregate host seconds). *)
 let to_obs obs =
+  let s = state () in
   let t = ref 0.0 in
   List.iter
     (fun c ->
       let i = index c in
-      if times.(i) > 0.0 then begin
-        Obs.complete_at obs ~ts:!t ~duration:times.(i)
+      if s.times.(i) > 0.0 then begin
+        Obs.complete_at obs ~ts:!t ~duration:s.times.(i)
           ~node:Obs.profile_node ~layer:Obs.Sim
           ("profile." ^ name c)
-          ~args:[ ("count", Obs.Int counts.(i)) ];
-        t := !t +. times.(i)
+          ~args:[ ("count", Obs.Int s.counts.(i)) ];
+        t := !t +. s.times.(i)
       end)
     all

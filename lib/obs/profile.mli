@@ -5,8 +5,10 @@
     ivar wakeups, vm fault handling — to give the engine-overhaul work
     (ROADMAP item 2) its baseline.
 
-    The profile is global mutable state, disabled by default (one branch
-    per probe when off).  Because wall-clock numbers are nondeterministic
+    The profile is domain-local mutable state, disabled by default (one
+    domain-local read and one branch per probe when off), so concurrent
+    simulations in separate domains never race on the accumulators.
+    Because wall-clock numbers are nondeterministic
     they are never written into the {!Obs} metrics registry; drivers
     export them as a separate [--profile] section ({!pp}, {!pp_jsonl})
     and optionally as Chrome trace slices on the [host-profile]

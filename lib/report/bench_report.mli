@@ -32,6 +32,10 @@ val load : string -> row list
 
 val metric : row -> string -> float option
 
+val selected : (string * string) list -> row -> bool
+(** [selected only row] — [row] matches every [ATTR = VALUE] pair of
+    [only] (see {!compare}'s [only]). *)
+
 (** {1 Comparison} *)
 
 type delta = {

@@ -1,8 +1,19 @@
 module Profile = Carlos_obs.Profile
 
+(* Queue payloads are a small variant instead of uniform [unit -> unit]
+   thunks: resuming a parked fiber or starting a forked one schedules the
+   continuation/body directly, so the steady state allocates no wrapper
+   closure per event.  [Ev_none] is the heap's dummy filler for vacated
+   slots — it never reaches [exec]. *)
+type event =
+  | Ev_none
+  | Ev_thunk of (unit -> unit)
+  | Ev_fiber of (unit -> unit)
+  | Ev_resume of (unit, unit) Effect.Deep.continuation
+
 type t = {
   mutable clock : float;
-  queue : (unit -> unit) Heap.t;
+  queue : event Heap.t;
   mutable next_seq : int;
   mutable executed : int;
   mutable failure : exn option;
@@ -20,13 +31,14 @@ type _ Effect.t +=
   | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
 (* The engine currently executing; used only to give fiber-level operations
-   ([delay], [time], ...) an implicit engine argument.  The simulator is
-   single-domain, so a plain ref is safe. *)
-let current : t option ref = ref None
+   ([delay], [time], ...) an implicit engine argument.  Domain-local so
+   independent simulations may run concurrently in separate domains (the
+   parallel bench harness) without seeing each other's engine. *)
+let current_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let create () =
-  { clock = 0.0; queue = Heap.create (); next_seq = 0; executed = 0;
-    failure = None; secondary = [] }
+  { clock = 0.0; queue = Heap.create ~dummy:Ev_none (); next_seq = 0;
+    executed = 0; failure = None; secondary = [] }
 
 let failures t =
   match t.failure with
@@ -37,15 +49,20 @@ let now t = t.clock
 
 let events_executed t = t.executed
 
-let schedule t ~time thunk =
+let schedule_ev t ~time ev =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %g is before now %g" time t.clock);
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  let p0 = Profile.start () in
-  Heap.add t.queue ~time ~seq thunk;
-  Profile.stop Profile.Heap_push p0
+  if Profile.enabled () then begin
+    let p0 = Profile.start () in
+    Heap.add t.queue ~time ~seq ev;
+    Profile.stop Profile.Heap_push p0
+  end
+  else Heap.add t.queue ~time ~seq ev
+
+let schedule t ~time thunk = schedule_ev t ~time (Ev_thunk thunk)
 
 let at t ~time f = schedule t ~time f
 
@@ -71,16 +88,12 @@ let rec start_fiber eng f =
               (fun (k : (a, _) continuation) ->
                 if dt < 0.0 then
                   discontinue k (Invalid_argument "Engine.delay: negative")
-                else
-                  schedule t ~time:(t.clock +. dt) (fun () ->
-                      let p0 = Profile.start () in
-                      continue k ();
-                      Profile.stop Profile.Fiber_resume p0))
+                else schedule_ev t ~time:(t.clock +. dt) (Ev_resume k))
           | Time -> Some (fun k -> continue k eng.clock)
           | Fork g ->
             Some
               (fun k ->
-                schedule eng ~time:eng.clock (fun () -> start_fiber eng g);
+                schedule_ev eng ~time:eng.clock (Ev_fiber g);
                 continue k ())
           | Suspend register ->
             Some
@@ -90,35 +103,41 @@ let rec start_fiber eng f =
                   if !resumed then
                     invalid_arg "Engine.suspend: resume invoked twice";
                   resumed := true;
-                  schedule eng ~time:eng.clock (fun () ->
-                      let p0 = Profile.start () in
-                      continue k ();
-                      Profile.stop Profile.Fiber_resume p0)
+                  schedule_ev eng ~time:eng.clock (Ev_resume k)
                 in
                 register resume)
           | _ -> None);
     }
 
-let spawn t f = schedule t ~time:t.clock (fun () -> start_fiber t f)
+and exec eng = function
+  | Ev_none -> ()
+  | Ev_thunk f -> f ()
+  | Ev_fiber f -> start_fiber eng f
+  | Ev_resume k ->
+    if Profile.enabled () then begin
+      let p0 = Profile.start () in
+      Effect.Deep.continue k ();
+      Profile.stop Profile.Fiber_resume p0
+    end
+    else Effect.Deep.continue k ()
+
+let spawn t f = schedule_ev t ~time:t.clock (Ev_fiber f)
 
 let run t =
-  let saved = !current in
-  current := Some t;
+  let saved = Domain.DLS.get current_key in
+  Domain.DLS.set current_key (Some t);
   let run0 = Profile.start () in
   let finish () =
     Profile.stop Profile.Run run0;
-    current := saved
+    Domain.DLS.set current_key saved
   in
   (* After a failure, keep draining events already due at the current
      virtual instant: fibers that failed simultaneously get to record
      their exceptions instead of being silently dropped with the queue.
      The first strictly-later timestamp (or an empty queue) stops the
-     run. *)
-  let overdue () =
-    match Heap.min_key t.queue with
-    | Some (time, _) -> time <= t.clock
-    | None -> false
-  in
+     run.  [Heap.min_time] is [infinity] on an empty queue, so the
+     comparison is allocation-free either way. *)
+  let overdue () = Heap.min_time t.queue <= t.clock in
   let rec loop () =
     match t.failure with
     | Some e when not (overdue ()) ->
@@ -126,27 +145,37 @@ let run t =
       (match t.secondary with
       | [] -> raise e
       | rest -> raise (Multiple_failures (e :: List.rev rest)))
-    | _ -> (
-      let p0 = Profile.start () in
-      let next = Heap.pop_min t.queue in
-      Profile.stop Profile.Heap_pop p0;
-      match next with
-      | None -> finish ()
-      | Some (time, _, thunk) ->
+    | _ ->
+      if Heap.is_empty t.queue then finish ()
+      else begin
+        let time = Heap.min_time t.queue in
+        let ev =
+          if Profile.enabled () then begin
+            let p0 = Profile.start () in
+            let ev = Heap.pop t.queue in
+            Profile.stop Profile.Heap_pop p0;
+            ev
+          end
+          else Heap.pop t.queue
+        in
         t.clock <- time;
         t.executed <- t.executed + 1;
-        (* A thunk returns when its fiber suspends (the effect handler
+        (* An event returns when its fiber suspends (the effect handler
            captures the continuation), so this span is the exact host
            time of one event — no virtual-time inclusion. *)
-        let e0 = Profile.start () in
-        thunk ();
-        Profile.stop Profile.Event e0;
-        loop ())
+        if Profile.enabled () then begin
+          let e0 = Profile.start () in
+          exec t ev;
+          Profile.stop Profile.Event e0
+        end
+        else exec t ev;
+        loop ()
+      end
   in
   loop ()
 
 let delay dt =
-  match !current with
+  match Domain.DLS.get current_key with
   | None -> invalid_arg "Engine.delay: not inside a running engine"
   | Some eng -> Effect.perform (Delay (eng, dt))
 

@@ -1,81 +1,129 @@
-type 'a entry = { time : float; seq : int; value : 'a }
+(* Flat 4-ary min-heap over parallel arrays.
 
-(* Slots at or beyond [len] hold [None] so that popped entries — and the
-   thunk closures they capture, including blocked continuations — are
-   released to the GC as soon as they leave the heap.  A plain
-   ['a entry array] backing store would retain the moved last entry in
-   [data.(len)] (and [grow]'s fill element in every spare slot)
-   indefinitely. *)
-type 'a t = { mutable data : 'a entry option array; mutable len : int }
+   The event queue is the innermost data structure of the engine, so the
+   layout is chosen for the mutator and the GC, not for elegance:
 
-let create () = { data = [||]; len = 0 }
+   - [times] is a plain [float array], which OCaml stores unboxed, so key
+     comparisons never chase a pointer or allocate; [seqs] carries the
+     deterministic tie-break; [values] carries the payload.  The previous
+     representation boxed every entry as [Some {time; seq; value}] — two
+     blocks plus a boxed float per event.
+   - 4-ary rather than binary: half the tree depth for the same size, so
+     fewer cache lines touched per sift; the wider child scan stays inside
+     one or two lines of the parallel arrays.
+   - Sifts move a hole instead of swapping, writing each slot once.
+
+   Slots at or beyond [len] in [values] hold [dummy] so that popped
+   entries — and the closures/continuations they capture — are released
+   to the GC as soon as they leave the heap (the PR 8 leak fix, preserved
+   here). *)
+
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable values : 'a array;
+  mutable len : int;
+  dummy : 'a;
+}
+
+let create ~dummy () =
+  { times = [||]; seqs = [||]; values = [||]; len = 0; dummy }
 
 let size h = h.len
 
 let is_empty h = h.len = 0
 
-let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let get h i =
-  match h.data.(i) with
-  | Some e -> e
-  | None -> assert false (* slots below [len] are always populated *)
-
 let grow h =
-  let cap = Array.length h.data in
-  if h.len = cap then begin
-    let cap' = if cap = 0 then 16 else cap * 2 in
-    let data' = Array.make cap' None in
-    Array.blit h.data 0 data' 0 h.len;
-    h.data <- data'
-  end
-
-let rec sift_up h i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if lt (get h i) (get h parent) then begin
-      let tmp = h.data.(i) in
-      h.data.(i) <- h.data.(parent);
-      h.data.(parent) <- tmp;
-      sift_up h parent
-    end
-  end
-
-let rec sift_down h i =
-  let left = (2 * i) + 1 and right = (2 * i) + 2 in
-  let smallest = ref i in
-  if left < h.len && lt (get h left) (get h !smallest) then smallest := left;
-  if right < h.len && lt (get h right) (get h !smallest) then
-    smallest := right;
-  if !smallest <> i then begin
-    let tmp = h.data.(i) in
-    h.data.(i) <- h.data.(!smallest);
-    h.data.(!smallest) <- tmp;
-    sift_down h !smallest
-  end
+  let cap = Array.length h.times in
+  let cap' = if cap = 0 then 16 else cap * 2 in
+  let times' = Array.make cap' 0.0 in
+  let seqs' = Array.make cap' 0 in
+  let values' = Array.make cap' h.dummy in
+  Array.blit h.times 0 times' 0 h.len;
+  Array.blit h.seqs 0 seqs' 0 h.len;
+  Array.blit h.values 0 values' 0 h.len;
+  h.times <- times';
+  h.seqs <- seqs';
+  h.values <- values'
 
 let add h ~time ~seq value =
-  grow h;
-  h.data.(h.len) <- Some { time; seq; value };
+  if h.len = Array.length h.times then grow h;
+  (* Sift the hole up from the new last slot. *)
+  let i = ref h.len in
   h.len <- h.len + 1;
-  sift_up h (h.len - 1)
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let p = (!i - 1) / 4 in
+    let pt = Array.unsafe_get h.times p in
+    if time < pt || (time = pt && seq < Array.unsafe_get h.seqs p) then begin
+      Array.unsafe_set h.times !i pt;
+      Array.unsafe_set h.seqs !i (Array.unsafe_get h.seqs p);
+      Array.unsafe_set h.values !i (Array.unsafe_get h.values p);
+      i := p
+    end
+    else moving := false
+  done;
+  Array.unsafe_set h.times !i time;
+  Array.unsafe_set h.seqs !i seq;
+  Array.unsafe_set h.values !i value
 
-let min_key h =
-  if h.len = 0 then None
-  else
-    let e = get h 0 in
-    Some (e.time, e.seq)
+let min_time h = if h.len = 0 then infinity else Array.unsafe_get h.times 0
+
+let pop h =
+  if h.len = 0 then invalid_arg "Heap.pop: empty";
+  let v0 = Array.unsafe_get h.values 0 in
+  let last = h.len - 1 in
+  h.len <- last;
+  if last = 0 then Array.unsafe_set h.values 0 h.dummy
+  else begin
+    (* Re-insert the former last entry by sifting a hole down from the
+       root; the vacated slot is cleared so the value can be collected. *)
+    let time = Array.unsafe_get h.times last in
+    let seq = Array.unsafe_get h.seqs last in
+    let value = Array.unsafe_get h.values last in
+    Array.unsafe_set h.values last h.dummy;
+    let i = ref 0 in
+    let moving = ref true in
+    while !moving do
+      let c0 = (4 * !i) + 1 in
+      if c0 >= last then moving := false
+      else begin
+        let m = ref c0 in
+        let hi = if c0 + 3 < last - 1 then c0 + 3 else last - 1 in
+        for c = c0 + 1 to hi do
+          let ct = Array.unsafe_get h.times c in
+          let mt = Array.unsafe_get h.times !m in
+          if
+            ct < mt
+            || ct = mt && Array.unsafe_get h.seqs c < Array.unsafe_get h.seqs !m
+          then m := c
+        done;
+        let mt = Array.unsafe_get h.times !m in
+        if mt < time || (mt = time && Array.unsafe_get h.seqs !m < seq) then begin
+          Array.unsafe_set h.times !i mt;
+          Array.unsafe_set h.seqs !i (Array.unsafe_get h.seqs !m);
+          Array.unsafe_set h.values !i (Array.unsafe_get h.values !m);
+          i := !m
+        end
+        else moving := false
+      end
+    done;
+    Array.unsafe_set h.times !i time;
+    Array.unsafe_set h.seqs !i seq;
+    Array.unsafe_set h.values !i value
+  end;
+  v0
+
+(* Compat layer: the option/tuple forms the engine used before the flat
+   layout.  Kept for tests and any cold caller; the engine's hot loop uses
+   [min_time]/[pop] directly. *)
+
+let min_key h = if h.len = 0 then None else Some (h.times.(0), h.seqs.(0))
 
 let pop_min h =
   if h.len = 0 then None
   else begin
-    let e = get h 0 in
-    h.len <- h.len - 1;
-    if h.len > 0 then begin
-      h.data.(0) <- h.data.(h.len);
-      h.data.(h.len) <- None;
-      sift_down h 0
-    end
-    else h.data.(0) <- None;
-    Some (e.time, e.seq, e.value)
+    let time = h.times.(0) and seq = h.seqs.(0) in
+    let v = pop h in
+    Some (time, seq, v)
   end

@@ -10,6 +10,45 @@ let create ~size =
   if size <= 0 then invalid_arg "Page.create: size";
   { data = Bytes.make size '\000'; state = Read_only; twin = None }
 
+(* Twin buffers are page-sized, i.e. larger than the 256-word
+   young-allocation limit, so every [Bytes.copy] went straight to the
+   major heap; with thousands of twins per run the allocation and
+   marking cost showed up at the top of host-time profiles.  Dropped
+   twins are recycled through a domain-local free list instead.  A twin
+   never escapes this module ([Diff.create] copies runs out of it), so
+   reuse is safe.  The list is capped so a pathological page-size mix
+   cannot pin unbounded memory. *)
+type twin_pool = { mutable free : Bytes.t list; mutable n : int }
+
+let max_pooled_twins = 128
+
+let twin_pools : (int, twin_pool) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let twin_alloc size =
+  match Hashtbl.find_opt (Domain.DLS.get twin_pools) size with
+  | Some ({ free = b :: rest; _ } as p) ->
+    p.free <- rest;
+    p.n <- p.n - 1;
+    b
+  | Some { free = []; _ } | None -> Bytes.create size
+
+let twin_release b =
+  let pools = Domain.DLS.get twin_pools in
+  let size = Bytes.length b in
+  let p =
+    match Hashtbl.find_opt pools size with
+    | Some p -> p
+    | None ->
+      let p = { free = []; n = 0 } in
+      Hashtbl.add pools size p;
+      p
+  in
+  if p.n < max_pooled_twins then begin
+    p.free <- b :: p.free;
+    p.n <- p.n + 1
+  end
+
 let state t = t.state
 
 let data t = t.data
@@ -23,7 +62,10 @@ let clean_snapshot t =
 let make_twin t =
   match t.state with
   | Read_only ->
-    t.twin <- Some (Bytes.copy t.data);
+    let len = Bytes.length t.data in
+    let twin = twin_alloc len in
+    Bytes.blit t.data 0 twin 0 len;
+    t.twin <- Some twin;
     t.state <- Read_write
   | Invalid -> invalid_arg "Page.make_twin: page is invalid"
   | Read_write -> invalid_arg "Page.make_twin: twin already exists"
@@ -34,6 +76,7 @@ let encode_diff t ~page_index =
     let diff = Diff.create ~page:page_index ~twin ~current:t.data in
     t.twin <- None;
     t.state <- Read_only;
+    twin_release twin;
     diff
   | Read_write, None -> assert false
   | (Invalid | Read_only), _ ->
@@ -65,7 +108,11 @@ let install t bytes =
   if Bytes.length bytes <> Bytes.length t.data then
     invalid_arg "Page.install: size mismatch";
   Bytes.blit bytes 0 t.data 0 (Bytes.length bytes);
-  t.twin <- None;
+  (match t.twin with
+  | Some twin ->
+    t.twin <- None;
+    twin_release twin
+  | None -> ());
   t.state <- Read_only
 
 let validate t =

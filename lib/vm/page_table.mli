@@ -36,6 +36,16 @@ val ensure_readable : t -> int -> unit
     with a real protection trap). *)
 val ensure_writable : t -> int -> unit
 
+(** [read_data t i] is the backing bytes of page [i], faulting first if
+    the page is invalid.  Fast path for {!Shm}: one state check, no
+    allocation when the page is already readable.  [i] must be a valid
+    page index (unchecked). *)
+val read_data : t -> int -> Bytes.t
+
+(** [write_data t i] is the backing bytes of page [i], faulting first if
+    the page is not writable.  Same contract as {!read_data}. *)
+val write_data : t -> int -> Bytes.t
+
 (** {1 Statistics}
 
     Counters [read_faults]/[write_faults] in the registry, cumulative

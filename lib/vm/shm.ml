@@ -3,33 +3,61 @@ type t = {
   page_table : Page_table.t;
   private_mem : Bytes.t;
   noncoherent : Bytes.t;
+  (* Fast-path segment geometry, mirrored out of [region] so the typed
+     accessors resolve an address with integer compares and shifts only.
+     Every simulated memory access goes through here — the apps issue
+     millions per run — so the hot path must not allocate: no
+     [Region.location] variant, no [(bytes, offset)] tuple. *)
+  pr_base : int;
+  pr_limit : int;
+  nc_base : int;
+  nc_limit : int;
+  co_base : int;
+  co_limit : int;
+  page_shift : int;
+  page_mask : int;
 }
 
 let create ?obs ?node ~region ~noncoherent () =
   if Bytes.length noncoherent <> Region.noncoherent_bytes region then
     invalid_arg "Shm.create: noncoherent backing store has the wrong size";
+  let page_size = Region.page_size region in
+  (* page_size is a positive power of two (checked by Region.create). *)
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1) in
   {
     region;
     page_table =
       Page_table.create ?obs ?node
         ~pages:(Region.coherent_pages region)
-        ~page_size:(Region.page_size region)
-        ();
+        ~page_size ();
     private_mem = Bytes.make (Region.private_bytes region) '\000';
     noncoherent;
+    pr_base = Region.private_base region;
+    pr_limit = Region.private_base region + Region.private_bytes region;
+    nc_base = Region.noncoherent_base region;
+    nc_limit = Region.noncoherent_base region + Region.noncoherent_bytes region;
+    co_base = Region.coherent_base region;
+    co_limit =
+      Region.coherent_base region + (Region.coherent_pages region * page_size);
+    page_shift = log2 page_size;
+    page_mask = page_size - 1;
   }
 
 let region t = t.region
 
 let page_table t = t.page_table
 
-let check_aligned addr width =
-  if addr mod width <> 0 then
-    invalid_arg
-      (Printf.sprintf "Shm: unaligned %d-byte access at 0x%x" width addr)
+(* Cold paths, kept out of line so the accessors stay small. *)
+let[@inline never] segv addr =
+  invalid_arg (Printf.sprintf "Shm: segmentation violation at 0x%x" addr)
+
+let[@inline never] unaligned addr width =
+  invalid_arg (Printf.sprintf "Shm: unaligned %d-byte access at 0x%x" width addr)
 
 (* Resolve an access: returns the backing bytes and offset, taking
-   coherent-region faults as needed. *)
+   coherent-region faults as needed.  Allocates a tuple — used by the
+   bulk accessors only; the typed accessors below inline the segment
+   walk instead. *)
 let resolve_read t addr =
   match Region.locate t.region addr with
   | Region.Private off -> (t.private_mem, off)
@@ -46,46 +74,129 @@ let resolve_write t addr =
     Page_table.ensure_writable t.page_table page;
     (Page.data (Page_table.page t.page_table page), offset)
 
+(* The typed accessors share one shape: classify the address with three
+   range checks (coherent first — it is by far the hottest segment),
+   then read or write through the backing bytes directly.  The safe
+   [Bytes.get_*]/[set_*] accessors keep the end-of-segment bounds check,
+   so a multi-byte access overhanging a segment still raises exactly as
+   the old [Bytes] path did.  Alignment guarantees a coherent access
+   never crosses a page boundary. *)
+
 let read_u8 t addr =
-  let bytes, off = resolve_read t addr in
-  Char.code (Bytes.get bytes off)
+  if addr >= t.co_base then begin
+    if addr >= t.co_limit then segv addr;
+    let off = addr - t.co_base in
+    let data = Page_table.read_data t.page_table (off lsr t.page_shift) in
+    Char.code (Bytes.get data (off land t.page_mask))
+  end
+  else if addr >= t.nc_base && addr < t.nc_limit then
+    Char.code (Bytes.get t.noncoherent (addr - t.nc_base))
+  else if addr >= t.pr_base && addr < t.pr_limit then
+    Char.code (Bytes.get t.private_mem (addr - t.pr_base))
+  else segv addr
 
 let write_u8 t addr v =
   if v < 0 || v > 0xff then invalid_arg "Shm.write_u8: out of range";
-  let bytes, off = resolve_write t addr in
-  Bytes.set bytes off (Char.chr v)
+  if addr >= t.co_base then begin
+    if addr >= t.co_limit then segv addr;
+    let off = addr - t.co_base in
+    let data = Page_table.write_data t.page_table (off lsr t.page_shift) in
+    Bytes.set data (off land t.page_mask) (Char.unsafe_chr v)
+  end
+  else if addr >= t.nc_base && addr < t.nc_limit then
+    Bytes.set t.noncoherent (addr - t.nc_base) (Char.unsafe_chr v)
+  else if addr >= t.pr_base && addr < t.pr_limit then
+    Bytes.set t.private_mem (addr - t.pr_base) (Char.unsafe_chr v)
+  else segv addr
 
 let read_i32 t addr =
-  check_aligned addr 4;
-  let bytes, off = resolve_read t addr in
-  Int32.to_int (Bytes.get_int32_le bytes off)
+  if addr land 3 <> 0 then unaligned addr 4;
+  if addr >= t.co_base then begin
+    if addr >= t.co_limit then segv addr;
+    let off = addr - t.co_base in
+    let data = Page_table.read_data t.page_table (off lsr t.page_shift) in
+    Int32.to_int (Bytes.get_int32_le data (off land t.page_mask))
+  end
+  else if addr >= t.nc_base && addr < t.nc_limit then
+    Int32.to_int (Bytes.get_int32_le t.noncoherent (addr - t.nc_base))
+  else if addr >= t.pr_base && addr < t.pr_limit then
+    Int32.to_int (Bytes.get_int32_le t.private_mem (addr - t.pr_base))
+  else segv addr
 
 let write_i32 t addr v =
-  check_aligned addr 4;
+  if addr land 3 <> 0 then unaligned addr 4;
   if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
     invalid_arg "Shm.write_i32: out of range";
-  let bytes, off = resolve_write t addr in
-  Bytes.set_int32_le bytes off (Int32.of_int v)
+  let v = Int32.of_int v in
+  if addr >= t.co_base then begin
+    if addr >= t.co_limit then segv addr;
+    let off = addr - t.co_base in
+    let data = Page_table.write_data t.page_table (off lsr t.page_shift) in
+    Bytes.set_int32_le data (off land t.page_mask) v
+  end
+  else if addr >= t.nc_base && addr < t.nc_limit then
+    Bytes.set_int32_le t.noncoherent (addr - t.nc_base) v
+  else if addr >= t.pr_base && addr < t.pr_limit then
+    Bytes.set_int32_le t.private_mem (addr - t.pr_base) v
+  else segv addr
 
 let read_i64 t addr =
-  check_aligned addr 8;
-  let bytes, off = resolve_read t addr in
-  Int64.to_int (Bytes.get_int64_le bytes off)
+  if addr land 7 <> 0 then unaligned addr 8;
+  if addr >= t.co_base then begin
+    if addr >= t.co_limit then segv addr;
+    let off = addr - t.co_base in
+    let data = Page_table.read_data t.page_table (off lsr t.page_shift) in
+    Int64.to_int (Bytes.get_int64_le data (off land t.page_mask))
+  end
+  else if addr >= t.nc_base && addr < t.nc_limit then
+    Int64.to_int (Bytes.get_int64_le t.noncoherent (addr - t.nc_base))
+  else if addr >= t.pr_base && addr < t.pr_limit then
+    Int64.to_int (Bytes.get_int64_le t.private_mem (addr - t.pr_base))
+  else segv addr
 
 let write_i64 t addr v =
-  check_aligned addr 8;
-  let bytes, off = resolve_write t addr in
-  Bytes.set_int64_le bytes off (Int64.of_int v)
+  if addr land 7 <> 0 then unaligned addr 8;
+  let v = Int64.of_int v in
+  if addr >= t.co_base then begin
+    if addr >= t.co_limit then segv addr;
+    let off = addr - t.co_base in
+    let data = Page_table.write_data t.page_table (off lsr t.page_shift) in
+    Bytes.set_int64_le data (off land t.page_mask) v
+  end
+  else if addr >= t.nc_base && addr < t.nc_limit then
+    Bytes.set_int64_le t.noncoherent (addr - t.nc_base) v
+  else if addr >= t.pr_base && addr < t.pr_limit then
+    Bytes.set_int64_le t.private_mem (addr - t.pr_base) v
+  else segv addr
 
 let read_f64 t addr =
-  check_aligned addr 8;
-  let bytes, off = resolve_read t addr in
-  Int64.float_of_bits (Bytes.get_int64_le bytes off)
+  if addr land 7 <> 0 then unaligned addr 8;
+  if addr >= t.co_base then begin
+    if addr >= t.co_limit then segv addr;
+    let off = addr - t.co_base in
+    let data = Page_table.read_data t.page_table (off lsr t.page_shift) in
+    Int64.float_of_bits (Bytes.get_int64_le data (off land t.page_mask))
+  end
+  else if addr >= t.nc_base && addr < t.nc_limit then
+    Int64.float_of_bits (Bytes.get_int64_le t.noncoherent (addr - t.nc_base))
+  else if addr >= t.pr_base && addr < t.pr_limit then
+    Int64.float_of_bits (Bytes.get_int64_le t.private_mem (addr - t.pr_base))
+  else segv addr
 
 let write_f64 t addr v =
-  check_aligned addr 8;
-  let bytes, off = resolve_write t addr in
-  Bytes.set_int64_le bytes off (Int64.bits_of_float v)
+  if addr land 7 <> 0 then unaligned addr 8;
+  let v = Int64.bits_of_float v in
+  if addr >= t.co_base then begin
+    if addr >= t.co_limit then segv addr;
+    let off = addr - t.co_base in
+    let data = Page_table.write_data t.page_table (off lsr t.page_shift) in
+    Bytes.set_int64_le data (off land t.page_mask) v
+  end
+  else if addr >= t.nc_base && addr < t.nc_limit then
+    Bytes.set_int64_le t.noncoherent (addr - t.nc_base) v
+  else if addr >= t.pr_base && addr < t.pr_limit then
+    Bytes.set_int64_le t.private_mem (addr - t.pr_base) v
+  else segv addr
 
 let check_span t addr len =
   match Region.locate t.region addr with

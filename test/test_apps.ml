@@ -136,6 +136,42 @@ let test_grid_update_strategy () =
       Alcotest.(check bool) "exact" true r.Grid.exact)
     [ Carlos_dsm.Lrc_backend.Update; Carlos_dsm.Lrc_backend.Hybrid_update ]
 
+let test_grid_domain_parallel_identical () =
+  (* Domain-safety of the engine and obs layers: the same grid/lock
+     simulation run concurrently in 4 domains must produce metric
+     snapshots and trace exports byte-identical to a sequential run —
+     the engine binding, profiler and twin pools are domain-local and
+     each simulation owns its registry, so no cross-domain state leaks
+     into the results. *)
+  let run () =
+    let sys = System.create (Grid.config ~nodes:4 grid_params) in
+    let obs = Carlos.System.obs sys in
+    Carlos_obs.Obs.set_tracing obs true;
+    let r = Grid.run sys Grid.Barrier grid_params in
+    let metrics =
+      Format.asprintf "%a" Carlos_obs.Obs.pp_metrics
+        (Carlos_obs.Obs.snapshot obs)
+    in
+    let trace = Format.asprintf "%a" Carlos_obs.Obs.pp_trace_jsonl obs in
+    (r.Grid.checksum, metrics, trace)
+  in
+  let reference = run () in
+  let domains = Array.init 4 (fun _ -> Domain.spawn run) in
+  Array.iteri
+    (fun i d ->
+      let checksum, metrics, trace = Domain.join d in
+      let ref_checksum, ref_metrics, ref_trace = reference in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "domain %d checksum" i)
+        ref_checksum checksum;
+      Alcotest.(check string)
+        (Printf.sprintf "domain %d metrics" i)
+        ref_metrics metrics;
+      Alcotest.(check string)
+        (Printf.sprintf "domain %d trace" i)
+        ref_trace trace)
+    domains
+
 let test_grid_neighbour_sync_beats_barrier () =
   (* The hybrid's neighbour-only synchronization must not be slower than
      the global barrier. *)
@@ -276,6 +312,8 @@ let () =
           quick "hybrid N=4" (test_grid Grid.Hybrid 4);
           quick "hybrid under update strategies" test_grid_update_strategy;
           quick "neighbour sync vs barrier" test_grid_neighbour_sync_beats_barrier;
+          quick "4 concurrent domains byte-identical"
+            test_grid_domain_parallel_identical;
         ] );
       ( "robustness",
         [

@@ -12,7 +12,7 @@ let check_float = Alcotest.(check (float 1e-9))
 (* Heap *)
 
 let test_heap_order () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:"" () in
   Heap.add h ~time:3.0 ~seq:0 "c";
   Heap.add h ~time:1.0 ~seq:1 "a";
   Heap.add h ~time:2.0 ~seq:2 "b";
@@ -29,7 +29,7 @@ let test_heap_order () =
     (List.rev !popped)
 
 let test_heap_tie_break () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:"" () in
   Heap.add h ~time:1.0 ~seq:5 "later";
   Heap.add h ~time:1.0 ~seq:2 "earlier";
   (match Heap.pop_min h with
@@ -43,7 +43,7 @@ let prop_heap_sorted =
   QCheck.Test.make ~name:"heap pops keys in nondecreasing order" ~count:200
     QCheck.(list (pair (float_bound_exclusive 1000.0) small_nat))
     (fun pairs ->
-      let h = Heap.create () in
+      let h = Heap.create ~dummy:(-1) () in
       List.iteri (fun i (time, _) -> Heap.add h ~time ~seq:i i) pairs;
       let rec drain last =
         match Heap.pop_min h with
@@ -52,12 +52,33 @@ let prop_heap_sorted =
       in
       drain neg_infinity)
 
+let prop_heap_lexicographic =
+  (* Force time ties (times drawn from a 4-value set) so the [seq]
+     tie-break of the flat 4-ary layout is exercised, via the
+     allocation-free [min_time]/[pop] path. *)
+  QCheck.Test.make ~name:"heap pops (time, seq) lexicographically" ~count:200
+    QCheck.(list (int_bound 3))
+    (fun times ->
+      let h = Heap.create ~dummy:(-1) () in
+      List.iteri
+        (fun i t -> Heap.add h ~time:(float_of_int t) ~seq:i i)
+        times;
+      let rec drain last_t last_s =
+        if Heap.is_empty h then true
+        else begin
+          let t = Heap.min_time h in
+          let s = Heap.pop h in
+          (t > last_t || (t = last_t && s > last_s)) && drain t s
+        end
+      in
+      drain neg_infinity (-1))
+
 let test_heap_releases_popped_values () =
   (* A popped entry must be collectable immediately: the event heap holds
      thunk closures (with captured continuations), and a vacated slot that
      still references the moved last entry would pin them for the life of
      the engine. *)
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:(ref (-1)) () in
   let collected = ref 0 in
   let n = 8 in
   for i = 0 to n - 1 do
@@ -343,6 +364,54 @@ let test_gate_broadcast () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Profiler *)
+
+module Profile = Carlos_obs.Profile
+
+let test_profile_disabled_records_nothing () =
+  (* Regression for the hot-path guards: with the profiler off, a full
+     engine run (spawns, delays, suspend/resume via ivars) must record
+     zero samples in every category. *)
+  Profile.reset ();
+  Profile.set_enabled false;
+  let eng = Engine.create () in
+  let iv = Resource.Ivar.create () in
+  Engine.spawn eng (fun () ->
+      Engine.delay 1.0;
+      Resource.Ivar.fill iv 42);
+  Engine.spawn eng (fun () ->
+      ignore (Resource.Ivar.read iv);
+      Engine.delay 0.5);
+  Engine.run eng;
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        (s.Profile.category ^ " count") 0 s.Profile.count;
+      check_float (s.Profile.category ^ " seconds") 0.0 s.Profile.seconds)
+    (Profile.snapshot ())
+
+let test_profile_enabled_records_run () =
+  Profile.reset ();
+  Profile.set_enabled true;
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () -> Engine.delay 1.0);
+  Engine.run eng;
+  Profile.set_enabled false;
+  let count cat =
+    let s =
+      List.find
+        (fun s -> s.Profile.category = Profile.name cat)
+        (Profile.snapshot ())
+    in
+    s.Profile.count
+  in
+  Alcotest.(check int) "one run" 1 (count Profile.Run);
+  Alcotest.(check bool) "events recorded" true (count Profile.Event > 0);
+  Alcotest.(check bool) "resumes recorded" true
+    (count Profile.Fiber_resume > 0);
+  Profile.reset ()
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -355,7 +424,7 @@ let () =
           Alcotest.test_case "popped values released to gc" `Quick
             test_heap_releases_popped_values;
         ]
-        @ qcheck [ prop_heap_sorted ] );
+        @ qcheck [ prop_heap_sorted; prop_heap_lexicographic ] );
       ( "rng",
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
@@ -382,6 +451,13 @@ let () =
           Alcotest.test_case "suspend/resume" `Quick
             test_engine_suspend_resume;
           Alcotest.test_case "at callback" `Quick test_engine_at_callback;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "disabled run records zero samples" `Quick
+            test_profile_disabled_records_nothing;
+          Alcotest.test_case "enabled run records samples" `Quick
+            test_profile_enabled_records_run;
         ] );
       ( "resource",
         [
